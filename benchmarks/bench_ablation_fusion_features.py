@@ -1,0 +1,64 @@
+"""A1 — ablation: which fusion features earn the fusion (paper §4.3).
+
+The paper's summary: "All test programs have loops with a different
+number of dimensions.  Mere loop alignment cannot fuse any of the tested
+programs except for a few loops in SP.  Swim also requires loop
+splitting."  We toggle statement embedding, alignment, and boundary
+splitting and count the fused units each configuration achieves.
+"""
+
+import pytest
+
+from repro.core import preliminary
+from repro.core.fusion import FusionOptions, fuse_program
+from repro.harness import format_table
+from repro.lang import validate
+from repro.programs import APPLICATIONS
+
+CONFIGS = {
+    "full": FusionOptions(),
+    "no-embedding": FusionOptions(embedding=False),
+    "no-alignment": FusionOptions(alignment=False),
+    "no-splitting": FusionOptions(splitting=False),
+    "identical-bounds only": FusionOptions(
+        embedding=False, alignment=False, splitting=False, identical_bounds=True
+    ),
+}
+
+
+def run():
+    rows = []
+    fused_units = {}
+    for app in ("swim", "tomcatv", "adi"):
+        program = validate(APPLICATIONS[app].build())
+        pre = preliminary(program)
+        row = [app, pre.loop_nest_count()]
+        for label, options in CONFIGS.items():
+            fused, report = fuse_program(pre, options=options)
+            units = report.levels[0].units_after
+            fused_units[(app, label)] = units
+            row.append(units)
+        rows.append(row)
+    table = format_table(
+        ("program", "nests in") + tuple(CONFIGS),
+        rows,
+        title="Ablation A1 - level-1 fused units by enabled fusion features",
+    )
+    for app in ("swim", "tomcatv", "adi"):
+        assert fused_units[(app, "full")] <= fused_units[(app, "identical-bounds only")], (
+            f"{app}: the full algorithm must fuse at least as much as the "
+            "restricted baseline"
+        )
+    # the paper's point: the restricted (McKinley-style) algorithm leaves
+    # most of the program unfused on at least some applications
+    assert any(
+        fused_units[(app, "identical-bounds only")]
+        > fused_units[(app, "full")]
+        for app in ("swim", "tomcatv", "adi")
+    )
+    return table
+
+
+def test_ablation_fusion_features(benchmark, record_artifact):
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ablation_fusion_features", text)

@@ -1,0 +1,56 @@
+"""A2 — ablation: multi-level vs element-only regrouping (paper §3.1).
+
+The paper's extension beyond their earlier workshop paper is grouping at
+levels *above* the array element ("placing simultaneously used array
+segments reduces cache interference and the page-table working set").
+We compare three regrouping configurations on the fused programs:
+
+* element-only (max_level=0): the earlier work's capability;
+* outer-only (min_level=1): the paper's SGI workaround configuration;
+* full multi-level (default).
+"""
+
+from repro.core.regroup import RegroupOptions
+from repro.harness import format_table, measure_application
+
+CONFIGS = {
+    "element-only": RegroupOptions(max_level=0),
+    "outer-only": RegroupOptions(min_level=1),
+    "multi-level": RegroupOptions(),
+}
+
+
+def run():
+    rows = []
+    collected = {}
+    for app in ("tomcatv", "sp"):
+        base = measure_application(app, ["noopt"])[0]
+        row = [app]
+        for label, options in CONFIGS.items():
+            res = measure_application(app, ["new"], regroup_options=options)[0]
+            norm = res.stats.normalized_to(base.stats)
+            collected[(app, label)] = norm
+            row.append(f"{norm['time']:.3f}")
+            row.append(f"{norm['tlb']:.2f}")
+        rows.append(row)
+    headers = ["program"]
+    for label in CONFIGS:
+        headers += [f"{label} time", f"{label} TLB"]
+    table = format_table(
+        tuple(headers),
+        rows,
+        title="Ablation A2 - regrouping level cap (normalized to original)",
+    )
+    # multi-level regrouping must control the TLB at least as well as
+    # element-only grouping (the point of §3.1)
+    for app in ("tomcatv", "sp"):
+        assert (
+            collected[(app, "multi-level")]["tlb"]
+            <= collected[(app, "element-only")]["tlb"] * 1.05
+        ), app
+    return table
+
+
+def test_ablation_regroup_levels(benchmark, record_artifact):
+    text = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_artifact("ablation_regroup_levels", text)

@@ -1,0 +1,98 @@
+"""E3 — §2.2: effect of reuse-driven execution on long/evadable reuses.
+
+Paper targets: ADI −33%, NAS/SP −63%, DOE/Sweep3D −67%, FFT +6% (worse).
+
+Long reuses are counted with a size-proportional threshold (the paper's
+evadable hills are the ones that move right with input size; a threshold
+that scales with the data set captures exactly the mass under them).
+
+Measured deviations are expected and recorded: our mini-SP's 3-D flux
+stencil makes Fig. 2's ForceExecute pull in whole wavefronts of producer
+cells, which at simulator scale costs more locality than the phase-major
+program order — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.interp import trace_program
+from repro.lang import validate
+from repro.locality import ReuseHistogram, reuse_distances
+from repro.programs import APPLICATIONS, STUDY_PROGRAMS, build_fft
+from repro.reusedriven import reuse_driven_order
+
+PAPER_TARGETS = {
+    "adi": "-33%",
+    "sp": "-63%",
+    "sweep3d": "-67%",
+    "fft": "+6%",
+}
+
+
+def long_reuse_fraction(trace, threshold):
+    h = ReuseHistogram.from_distances(reuse_distances(trace.global_keys()))
+    return h.fraction_ge(threshold), h
+
+
+def study(name):
+    if name == "fft":
+        program = validate(build_fft(256))
+        trace = trace_program(program, {}, with_instr=True)
+        threshold = 4 * 256 // 2
+    else:
+        entry = STUDY_PROGRAMS.get(name) or APPLICATIONS[name]
+        program = validate(entry.build())
+        params = dict(entry.small_params)
+        trace = trace_program(program, params, with_instr=True)
+        # data size in elements, / 16: under the moving hills
+        from repro.core.regroup import default_layout
+
+        threshold = default_layout(program, params).total_elems // 16
+    before, hb = long_reuse_fraction(trace, threshold)
+    reordered = reuse_driven_order(trace)
+    after, ha = long_reuse_fraction(reordered.trace, threshold)
+    change = (after - before) / before if before else 0.0
+    return {
+        "program": name,
+        "threshold": threshold,
+        "before": before,
+        "after": after,
+        "change": change,
+        "paper": PAPER_TARGETS[name],
+    }
+
+
+def render():
+    from repro.harness import format_table
+
+    rows = []
+    for name in ("adi", "sp", "sweep3d", "fft"):
+        r = study(name)
+        rows.append(
+            [
+                r["program"],
+                r["threshold"],
+                f"{r['before']:.3f}",
+                f"{r['after']:.3f}",
+                f"{r['change']:+.0%}",
+                r["paper"],
+            ]
+        )
+    table = format_table(
+        ("program", "threshold", "long-reuse frac before", "after", "change", "paper"),
+        rows,
+        title="Sec 2.2 - reuse-driven execution vs long reuses",
+    )
+    # qualitative anchors that must hold
+    by_name = {r[0]: r for r in rows}
+    assert float(by_name["sweep3d"][3]) < float(by_name["sweep3d"][2]), (
+        "sweep3d must improve under reuse-driven execution"
+    )
+    assert float(by_name["adi"][3]) <= float(by_name["adi"][2]) * 1.05, (
+        "adi must not get substantially worse"
+    )
+    return table
+
+
+def test_sec22_evadable(benchmark, record_artifact):
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    record_artifact("sec22_evadable", text)

@@ -1,0 +1,39 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+persists the text artifact under ``benchmarks/results/`` so the run
+leaves an inspectable record (EXPERIMENTS.md points at these files).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_artifact(results_dir):
+    """Write (and echo) the regenerated table/figure text."""
+
+    def write(name: str, text: str) -> str:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return write
+
+
+def paper_sized() -> bool:
+    """Opt into the paper's full input sizes (hours of simulation)."""
+    return os.environ.get("REPRO_PAPER_SIZES", "") == "1"

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The §2.2 limit study on Sweep3D: how much can *any* reordering help?
+
+Builds the multi-angle wavefront kernel, replays its dynamic dependence
+graph with the Fig. 2 reuse-driven algorithm, and compares reuse-distance
+histograms — the machine-level upper bound that motivates source-level
+fusion.
+
+Run:  python examples/reuse_driven_study.py
+"""
+
+from repro.interp import trace_program
+from repro.lang import validate
+from repro.locality import ReuseHistogram, reuse_distances
+from repro.programs import sweep3d
+from repro.reusedriven import build_dataflow, reuse_driven_order
+
+
+def main() -> None:
+    program = validate(sweep3d.build())
+    print(program)
+    trace = trace_program(program, {"N": 40}, with_instr=True)
+    info = build_dataflow(trace)
+    print(
+        f"{info.num_instructions:,} dynamic instructions, "
+        f"dataflow depth {int(info.level.max())} "
+        f"(ideal machine: {info.num_instructions / (int(info.level.max()) + 1):.0f}x parallel)"
+    )
+
+    result = reuse_driven_order(trace, info)
+    print(f"{result.forced:,} instructions pulled forward by ForceExecute\n")
+
+    before = ReuseHistogram.from_distances(reuse_distances(trace.global_keys()))
+    after = ReuseHistogram.from_distances(
+        reuse_distances(result.trace.global_keys())
+    )
+    print(before.format_ascii(width=44, label="[program order: angle-major sweeps]"))
+    print()
+    print(after.format_ascii(width=44, label="[reuse-driven execution]"))
+    threshold = 40 * 40
+    print(
+        f"\nreuses with distance >= mesh size ({threshold}): "
+        f"{before.count_ge(threshold):,} -> {after.count_ge(threshold):,} "
+        f"({(after.count_ge(threshold) / max(before.count_ge(threshold), 1) - 1):+.0%})"
+    )
+    print("paper (full Sweep3D): -67% evadable reuses")
+
+
+if __name__ == "__main__":
+    main()

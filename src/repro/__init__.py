@@ -1,0 +1,15 @@
+"""Reproduction of Ding & Kennedy, "Improving Effective Bandwidth through
+Compiler Enhancement of Global Cache Reuse" (IPPS 2001).
+
+Public entry points:
+
+* :mod:`repro.lang` — the mini loop language (parse / print / build);
+* :func:`repro.core.compile_variant` — run a program through an
+  optimization level (``noopt`` … ``new``);
+* :mod:`repro.harness` — measurement drivers used by the benchmarks;
+* ``python -m repro`` — the command-line source-to-source tool.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,92 @@
+"""Classification of subscripts relative to a fusion frame.
+
+Loop fusion at one level reasons about every array subscript relative to
+the loop index being fused (the *frame variable*).  Following the paper's
+input assumptions (Fig. 5), a subscript is:
+
+* **variant** — ``frame + c`` with ``c`` affine in parameters (the paper's
+  ``A[i + k]`` form);
+* **invariant** — a fixed point, affine in parameters only (``A[k]``,
+  typically a bordering element);
+* **inner** — traversed by an inner loop (the whole dimension from the
+  frame's point of view; arises when fusing the outer level of
+  multi-dimensional loops);
+* **complex** — anything else (non-unit coefficient on the frame, mixed
+  indices).  Complex subscripts make a pair infusible, exactly as the
+  paper's restrictions demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Union
+
+from ..lang import Affine
+
+
+class DimKind(Enum):
+    VARIANT = "variant"
+    INVARIANT = "invariant"
+    INNER = "inner"
+    COMPLEX = "complex"
+
+
+@dataclass(frozen=True)
+class DimClass:
+    """Classification of one subscript dimension."""
+
+    kind: DimKind
+    #: VARIANT: the offset c in ``frame + c``; INVARIANT: the fixed point.
+    value: Union[Affine, None] = None
+    #: INNER: the inner variables the subscript depends on.
+    inner_vars: frozenset[str] = frozenset()
+
+    @staticmethod
+    def variant(offset: Affine) -> "DimClass":
+        return DimClass(DimKind.VARIANT, offset)
+
+    @staticmethod
+    def invariant(point: Affine) -> "DimClass":
+        return DimClass(DimKind.INVARIANT, point)
+
+    @staticmethod
+    def inner(names: Iterable[str]) -> "DimClass":
+        return DimClass(DimKind.INNER, None, frozenset(names))
+
+    @staticmethod
+    def complex_() -> "DimClass":
+        return DimClass(DimKind.COMPLEX)
+
+    def __str__(self) -> str:
+        if self.kind is DimKind.VARIANT:
+            sign = "" if str(self.value).startswith("-") else "+"
+            return f"i{sign}{self.value}"
+        if self.kind is DimKind.INVARIANT:
+            return f"@{self.value}"
+        if self.kind is DimKind.INNER:
+            return f"inner({','.join(sorted(self.inner_vars))})"
+        return "complex"
+
+
+def classify_subscript(
+    subscript: Affine, frame: str, inner_vars: frozenset[str], params: frozenset[str]
+) -> DimClass:
+    """Classify one subscript affine form relative to ``frame``.
+
+    ``inner_vars`` are loop indices nested inside the frame; any other
+    variable must be a parameter (outer indices are already substituted or
+    treated as parameters by the caller).
+    """
+    coeff = subscript.coeff(frame)
+    used_inner = subscript.variables() & inner_vars
+    if coeff == 1 and not used_inner:
+        return DimClass.variant(subscript - Affine.var(frame))
+    if coeff == 0:
+        if used_inner:
+            return DimClass.inner(used_inner)
+        unknown = subscript.variables() - params
+        if unknown:
+            return DimClass.complex_()
+        return DimClass.invariant(subscript)
+    return DimClass.complex_()

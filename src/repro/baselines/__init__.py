@@ -1,0 +1,13 @@
+"""Comparator implementations: SGI-like local optimizer, McKinley fusion,
+Belady-optimal replacement."""
+
+from .belady import simulate_belady
+from .mckinley import mckinley_compile, mckinley_options
+from .sgi_like import sgi_compile
+
+__all__ = [
+    "mckinley_compile",
+    "mckinley_options",
+    "sgi_compile",
+    "simulate_belady",
+]

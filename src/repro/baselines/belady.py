@@ -1,0 +1,61 @@
+"""Belady's optimal replacement policy (paper §2.2 framing).
+
+Reuse-driven execution is "in a sense the inverse of Belady's policy":
+Belady evicts the line with the furthest next use; reuse-driven execution
+runs the instruction with the *closest* next reuse.  This module provides
+the classic OPT cache simulation so the extension benchmarks can bound
+how much of the miss reduction is achievable by replacement policy alone
+(none of the bandwidth, all of the latency) versus by reordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..memsim.cache import CacheConfig
+
+
+def simulate_belady(config: CacheConfig, addresses: np.ndarray) -> np.ndarray:
+    """Fully-associative cache with optimal (furthest-next-use) eviction.
+
+    Returns the per-access miss mask.  Set-associative Belady is not
+    meaningful for the comparison (the paper's framing is capacity-based),
+    so the geometry's total line count is used as the capacity.
+    """
+    lines = (np.asarray(addresses, dtype=np.int64) // config.line_bytes).tolist()
+    n = len(lines)
+    INF = n + 1
+    # next_use[t] = next position accessing the same line, or INF
+    next_use = [INF] * n
+    last: dict[int, int] = {}
+    for t in range(n - 1, -1, -1):
+        line = lines[t]
+        next_use[t] = last.get(line, INF)
+        last[line] = t
+    capacity = config.num_lines
+    miss = np.zeros(n, dtype=bool)
+    resident: set[int] = set()
+    #: the authoritative next use per resident line; heap entries that
+    #: disagree are stale and skipped lazily
+    current_nu: dict[int, int] = {}
+    heap: list[tuple[int, int]] = []  # (-next_use, line)
+    for t, line in enumerate(lines):
+        nu = next_use[t]
+        if line in resident:
+            current_nu[line] = nu
+            heapq.heappush(heap, (-nu, line))
+            continue
+        miss[t] = True
+        if len(resident) >= capacity:
+            while True:
+                neg_nu, victim = heapq.heappop(heap)
+                if victim in resident and current_nu.get(victim) == -neg_nu:
+                    resident.remove(victim)
+                    del current_nu[victim]
+                    break
+        resident.add(line)
+        current_nu[line] = nu
+        heapq.heappush(heap, (-nu, line))
+    return miss

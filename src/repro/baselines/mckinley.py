@@ -1,0 +1,40 @@
+"""Restricted loop fusion after McKinley, Carr & Tseng (paper §5).
+
+The first implemented-and-evaluated fusion the paper compares against
+"fused only loops with an equal number of iterations and with no
+fusion-preventing dependences" — no statement embedding, no alignment,
+no splitting.  The paper notes this fused just 6% of candidate loops and
+produced marginal improvements; the comparator benchmarks reproduce that
+gap.
+"""
+
+from __future__ import annotations
+
+from ..core.fusion import FusionOptions, fuse_program
+from ..core.pipeline import CompiledVariant
+from ..core.regroup import default_layout
+from ..lang import Program, validate
+from ..transform import inline_procedures, simplify_program
+
+
+def mckinley_options() -> FusionOptions:
+    return FusionOptions(
+        embedding=False,
+        alignment=False,
+        splitting=False,
+        identical_bounds=True,
+    )
+
+
+def mckinley_compile(program: Program, stages: dict) -> CompiledVariant:
+    p = validate(simplify_program(inline_procedures(program)))
+    fused, report = fuse_program(p, max_levels=8, options=mckinley_options())
+    fused = validate(simplify_program(fused))
+    stages["mckinley"] = fused.stats()
+    return CompiledVariant(
+        "mckinley",
+        fused,
+        lambda params: default_layout(fused, params),
+        fusion_report=report,
+        stages=stages,
+    )

@@ -1,0 +1,35 @@
+"""The paper's primary contribution: reuse-based loop fusion, multi-level
+data regrouping, and the pipeline combining them."""
+
+from .fusion import FusionOptions, FusionReport, fuse_level, fuse_program
+from .pipeline import (
+    OPT_LEVELS,
+    CompiledVariant,
+    compile_variant,
+    preliminary,
+)
+from .regroup import (
+    Layout,
+    RegroupOptions,
+    RegroupPlan,
+    default_layout,
+    padded_layout,
+    regroup_plan,
+)
+
+__all__ = [
+    "CompiledVariant",
+    "FusionOptions",
+    "FusionReport",
+    "Layout",
+    "OPT_LEVELS",
+    "RegroupOptions",
+    "RegroupPlan",
+    "compile_variant",
+    "default_layout",
+    "fuse_level",
+    "fuse_program",
+    "padded_layout",
+    "preliminary",
+    "regroup_plan",
+]

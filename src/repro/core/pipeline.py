@@ -1,0 +1,137 @@
+"""The end-to-end global strategy (paper §4.1).
+
+``compile_variant`` runs a program through a named optimization level:
+
+* ``noopt`` — inline only (the measured "original" program);
+* ``fusion`` / ``fusion1`` — preliminary passes + reuse-based fusion at
+  all levels / one level, default data layout;
+* ``regroup`` — preliminary passes + data regrouping without fusion
+  (ablation: "grouping may see little opportunity without fusion");
+* ``new`` — the paper's full strategy: fusion then regrouping
+  (also reachable as ``fusion+regroup``);
+* ``sgi`` — the SGI-compiler stand-in from :mod:`repro.baselines`;
+* ``mckinley`` — the restricted-fusion comparator from §5.
+
+The result carries the transformed program, a layout factory (regrouping
+and padding are *layouts*, so they compose with any trace), and the
+transformation reports the benchmarks introspect (loop counts, array
+counts — §4.4's structural numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from ..lang import Program, TransformError, validate
+from ..transform import (
+    distribute_loops,
+    inline_procedures,
+    propagate_scalar_constants,
+    simplify_program,
+    split_arrays,
+    unroll_small_loops,
+)
+from .fusion import FusionOptions, FusionReport, fuse_program
+from .regroup import (
+    Layout,
+    RegroupOptions,
+    RegroupPlan,
+    default_layout,
+    padded_layout,
+    regroup_plan,
+)
+
+#: the optimization levels the harness and benchmarks use
+OPT_LEVELS = ("noopt", "sgi", "mckinley", "fusion1", "fusion", "regroup", "new")
+
+
+@dataclass
+class CompiledVariant:
+    """A program compiled at one optimization level."""
+
+    level: str
+    program: Program
+    layout_factory: Callable[[Mapping[str, int]], Layout]
+    fusion_report: Optional[FusionReport] = None
+    regroup: Optional[RegroupPlan] = None
+    #: structural checkpoints along the pipeline (for §4.4-style tables)
+    stages: dict[str, dict] = field(default_factory=dict)
+
+    def layout(self, params: Mapping[str, int]) -> Layout:
+        return self.layout_factory(params)
+
+
+def preliminary(
+    program: Program, max_unroll: int = 5, distribute: bool = True
+) -> Program:
+    """§4.1 preliminary passes: inline, unroll+split, distribute, constprop.
+
+    ``distribute=False`` skips maximal loop distribution — used by the
+    regroup-only ablation, which should regroup the *original* loop
+    structure rather than a scattered one.
+    """
+    p = inline_procedures(program)
+    p = unroll_small_loops(p, max_unroll)
+    p = split_arrays(p, max_unroll)
+    if distribute:
+        p = distribute_loops(p)
+    p = propagate_scalar_constants(p)
+    p = simplify_program(p)
+    return validate(p)
+
+
+def compile_variant(
+    program: Program,
+    level: str,
+    fusion_options: Optional[FusionOptions] = None,
+    regroup_options: Optional[RegroupOptions] = None,
+    max_unroll: int = 5,
+) -> CompiledVariant:
+    """Compile ``program`` at optimization level ``level``."""
+    stages: dict[str, dict] = {"input": program.stats()}
+    if level == "noopt":
+        p = validate(simplify_program(inline_procedures(program)))
+        return CompiledVariant(level, p, lambda params: default_layout(p, params), stages=stages)
+    if level == "sgi":
+        from ..baselines.sgi_like import sgi_compile
+
+        return sgi_compile(program, stages)
+    if level == "mckinley":
+        from ..baselines.mckinley import mckinley_compile
+
+        return mckinley_compile(program, stages)
+
+    p = preliminary(program, max_unroll, distribute=level != "regroup")
+    stages["preliminary"] = p.stats()
+
+    if level in ("fusion", "fusion1", "new") or level.startswith("fusion"):
+        max_levels = 1 if level.startswith("fusion1") else 8
+        p, report = fuse_program(p, max_levels=max_levels, options=fusion_options)
+        p = validate(simplify_program(p))
+        stages["fused"] = p.stats()
+    else:
+        report = None
+
+    if level in ("regroup", "new") or level.endswith("+regroup"):
+        plan = regroup_plan(p, regroup_options)
+        stages["regrouped"] = {"merged_arrays": plan.merged_array_count()}
+        final = p
+        return CompiledVariant(
+            level,
+            final,
+            plan.materialize,
+            fusion_report=report,
+            regroup=plan,
+            stages=stages,
+        )
+    if level in ("fusion", "fusion1"):
+        final = p
+        return CompiledVariant(
+            level,
+            final,
+            lambda params: default_layout(final, params),
+            fusion_report=report,
+            stages=stages,
+        )
+    raise TransformError(f"unknown optimization level {level!r}")

@@ -1,0 +1,27 @@
+"""Multi-level data regrouping (§3): the second half of the strategy."""
+
+from .algorithm import (
+    GroupNode,
+    RegroupOptions,
+    RegroupPlan,
+    regroup_plan,
+)
+from .analysis import ArrayAccessInfo, analyze_access_patterns, compatible_key
+from .codegen import SourceRegrouping, emit_source
+from .layout import ArrayPlacement, Layout, default_layout, padded_layout
+
+__all__ = [
+    "ArrayAccessInfo",
+    "ArrayPlacement",
+    "GroupNode",
+    "Layout",
+    "RegroupOptions",
+    "RegroupPlan",
+    "SourceRegrouping",
+    "analyze_access_patterns",
+    "compatible_key",
+    "default_layout",
+    "emit_source",
+    "padded_layout",
+    "regroup_plan",
+]

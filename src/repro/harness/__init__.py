@@ -1,0 +1,33 @@
+"""Experiment drivers and table formatting shared by benchmarks/examples."""
+
+from .experiment import (
+    VariantResult,
+    machine_for,
+    measure,
+    measure_application,
+    trace_for,
+)
+from .sweep import SweepPoint, growth_factor, scaling_sweep
+from .tables import (
+    NORMALIZED_HEADERS,
+    format_table,
+    geometric_mean,
+    normalized_rows,
+    ratio,
+)
+
+__all__ = [
+    "NORMALIZED_HEADERS",
+    "SweepPoint",
+    "VariantResult",
+    "format_table",
+    "geometric_mean",
+    "machine_for",
+    "measure",
+    "measure_application",
+    "normalized_rows",
+    "ratio",
+    "growth_factor",
+    "scaling_sweep",
+    "trace_for",
+]

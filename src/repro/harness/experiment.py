@@ -1,0 +1,133 @@
+"""Shared experiment driver used by benchmarks/ and examples/.
+
+``measure`` takes an application (by registry name or as a program),
+compiles it at an optimization level, generates the trace at the chosen
+size, simulates the scaled memory hierarchy, and returns one
+:class:`VariantResult` — the row unit of every Fig. 10 / §6 table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core import CompiledVariant, compile_variant
+from ..core.fusion import FusionOptions
+from ..core.regroup import RegroupOptions
+from ..interp import trace_program
+from ..interp.trace import AccessTrace
+from ..lang import Program, validate
+from ..memsim import MACHINES, MachineConfig, MemStats, scaled_machine, simulate_hierarchy
+from ..programs import registry
+
+
+@dataclass
+class VariantResult:
+    """Everything measured for one (program, level) pair."""
+
+    program: str
+    level: str
+    params: Mapping[str, int]
+    stats: MemStats
+    variant: CompiledVariant
+    trace_length: int
+
+    def row(self) -> dict:
+        return {
+            "program": self.program,
+            "level": self.level,
+            "accesses": self.stats.accesses,
+            "l1": self.stats.l1_misses,
+            "l2": self.stats.l2_misses,
+            "tlb": self.stats.tlb_misses,
+            "seconds": self.stats.seconds,
+            "bytes": self.stats.data_transferred_bytes,
+        }
+
+
+def machine_for(spec) -> MachineConfig:
+    """Build the scaled machine for a registry entry's MachineSpec."""
+    if isinstance(spec, str):
+        return MACHINES[spec]()
+    base = MACHINES[spec.base]()
+    return scaled_machine(
+        base, spec.l1_bytes, spec.l2_bytes, spec.tlb_entries, spec.page_bytes
+    )
+
+
+def measure(
+    program: Program,
+    level: str,
+    params: Mapping[str, int],
+    machine: MachineConfig,
+    steps: int = 1,
+    name: Optional[str] = None,
+    fusion_options: Optional[FusionOptions] = None,
+    regroup_options: Optional[RegroupOptions] = None,
+) -> VariantResult:
+    """Compile at ``level``, trace, and simulate one program variant."""
+    variant = compile_variant(
+        program, level, fusion_options=fusion_options, regroup_options=regroup_options
+    )
+    validate(variant.program)
+    trace = trace_program(variant.program, params, steps=steps)
+    layout = variant.layout(params)
+    stats = simulate_hierarchy(trace, layout, machine)
+    return VariantResult(
+        program=name or program.name,
+        level=level,
+        params=dict(params),
+        stats=stats,
+        variant=variant,
+        trace_length=len(trace),
+    )
+
+
+def measure_application(
+    app: str,
+    levels: Sequence[str],
+    params: Optional[Mapping[str, int]] = None,
+    steps: Optional[int] = None,
+    machine: Optional[MachineConfig] = None,
+    fusion_options: Optional[FusionOptions] = None,
+    regroup_options: Optional[RegroupOptions] = None,
+) -> list[VariantResult]:
+    """Measure a registry application at several optimization levels."""
+    entry = registry.get(app)
+    program = validate(entry.build())
+    if machine is None:
+        machine = machine_for(entry.machine_spec)
+    out = []
+    for level in levels:
+        out.append(
+            measure(
+                program,
+                level,
+                params or entry.default_params,
+                machine,
+                steps=entry.steps if steps is None else steps,
+                name=app,
+                fusion_options=fusion_options,
+                regroup_options=regroup_options,
+            )
+        )
+    return out
+
+
+def trace_for(
+    app: str,
+    level: str = "noopt",
+    params: Optional[Mapping[str, int]] = None,
+    steps: Optional[int] = None,
+    with_instr: bool = False,
+) -> AccessTrace:
+    """Convenience: the access trace of an application at one level."""
+    entry = registry.get(app)
+    program = validate(entry.build())
+    variant = compile_variant(program, level)
+    return trace_program(
+        variant.program,
+        params or entry.default_params,
+        steps=entry.steps if steps is None else steps,
+        with_instr=with_instr,
+    )

@@ -1,0 +1,20 @@
+"""Execution substrate: value interpreter, deterministic state, traces."""
+
+from .funcs import DEFAULT_FUNCTIONS, FunctionTable
+from .interpreter import Interpreter, run_program
+from .state import check_params, init_arrays
+from .trace import AccessTrace, RefInfo, TraceBuilder
+from .tracegen import trace_program
+
+__all__ = [
+    "AccessTrace",
+    "DEFAULT_FUNCTIONS",
+    "FunctionTable",
+    "Interpreter",
+    "RefInfo",
+    "TraceBuilder",
+    "check_params",
+    "init_arrays",
+    "run_program",
+    "trace_program",
+]

@@ -1,0 +1,300 @@
+"""Affine linear forms over symbolic names.
+
+The whole compiler reasons about loop bounds and subscripts as affine
+expressions ``c0 + sum(ci * vi)`` where each ``vi`` is a loop index or a
+symbolic program parameter (such as the mesh size ``N``).  This module
+provides the canonical representation, arithmetic, and a conservative
+symbolic comparison used by dependence testing and alignment computation.
+
+Comparison semantics
+--------------------
+``Affine.compare`` answers "is self - other always negative / zero /
+positive" under the assumption that every symbolic parameter is at least
+``param_min`` (loop sizes are large).  When the sign cannot be determined
+the comparison returns ``None`` and callers must fall back to a
+conservative decision (e.g. "assume dependence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional, Union
+
+from .errors import NotAffineError
+
+Number = Union[int, float, Fraction]
+
+#: Default assumed lower bound for every symbolic parameter.  The paper's
+#: inputs are all >= 14 in each dimension; 8 keeps boundary peeling legal
+#: while remaining conservative.
+DEFAULT_PARAM_MIN = 8
+
+
+@dataclass(frozen=True)
+class Assumptions:
+    """Per-variable lower bounds used by symbolic comparison.
+
+    Program parameters default to ``default`` (problem sizes are large);
+    enclosing loop indices get their own minimum (often 1 or 2) so that
+    inner-level fusion can compare bounds involving outer indices without
+    over-claiming.  A variable mapped to ``None`` is unbounded below and
+    defeats any comparison that needs its sign.
+    """
+
+    default: int = DEFAULT_PARAM_MIN
+    mins: tuple[tuple[str, Optional[int]], ...] = ()
+
+    @staticmethod
+    def of(value: Union[int, "Assumptions"]) -> "Assumptions":
+        if isinstance(value, Assumptions):
+            return value
+        return Assumptions(default=value)
+
+    def min_of(self, name: str) -> Optional[int]:
+        for n, m in self.mins:
+            if n == name:
+                return m
+        return self.default
+
+    def with_var(self, name: str, minimum: Optional[int]) -> "Assumptions":
+        rest = tuple((n, m) for n, m in self.mins if n != name)
+        return Assumptions(self.default, rest + ((name, minimum),))
+
+    @property
+    def names(self) -> frozenset[str]:
+        return frozenset(n for n, _ in self.mins)
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine form ``const + sum(coeffs[name] * name)``.
+
+    Instances are immutable and hashable; zero coefficients are never
+    stored.  Coefficients and the constant are exact (int / Fraction).
+    """
+
+    const: Fraction = Fraction(0)
+    coeffs: tuple[tuple[str, Fraction], ...] = field(default=())
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def constant(value: Number) -> "Affine":
+        return Affine(_frac(value), ())
+
+    @staticmethod
+    def var(name: str, coeff: Number = 1) -> "Affine":
+        c = _frac(coeff)
+        if c == 0:
+            return Affine()
+        return Affine(Fraction(0), ((name, c),))
+
+    @staticmethod
+    def from_terms(const: Number, terms: Mapping[str, Number]) -> "Affine":
+        clean = tuple(
+            sorted((n, _frac(c)) for n, c in terms.items() if _frac(c) != 0)
+        )
+        return Affine(_frac(const), clean)
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[str, Fraction]:
+        return dict(self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def constant_value(self) -> Fraction:
+        if self.coeffs:
+            raise NotAffineError(f"{self} is not a constant")
+        return self.const
+
+    def int_value(self) -> int:
+        v = self.constant_value()
+        if v.denominator != 1:
+            raise NotAffineError(f"{self} is not an integer")
+        return int(v)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(n for n, _ in self.coeffs)
+
+    def coeff(self, name: str) -> Fraction:
+        for n, c in self.coeffs:
+            if n == name:
+                return c
+        return Fraction(0)
+
+    def depends_on(self, names: Iterable[str]) -> bool:
+        wanted = set(names)
+        return any(n in wanted for n, _ in self.coeffs)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: Union["Affine", Number]) -> "Affine":
+        other = _coerce(other)
+        terms = self.terms
+        for n, c in other.coeffs:
+            terms[n] = terms.get(n, Fraction(0)) + c
+        return Affine.from_terms(self.const + other.const, terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Affine":
+        return Affine(-self.const, tuple((n, -c) for n, c in self.coeffs))
+
+    def __sub__(self, other: Union["Affine", Number]) -> "Affine":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: Number) -> "Affine":
+        return _coerce(other) - self
+
+    def __mul__(self, scalar: Number) -> "Affine":
+        s = _frac(scalar)
+        if s == 0:
+            return Affine()
+        return Affine(
+            self.const * s, tuple((n, c * s) for n, c in self.coeffs)
+        )
+
+    __rmul__ = __mul__
+
+    def substitute(self, bindings: Mapping[str, Union["Affine", Number]]) -> "Affine":
+        """Replace variables with affine forms or numbers."""
+        out = Affine.constant(self.const)
+        for n, c in self.coeffs:
+            if n in bindings:
+                out = out + _coerce(bindings[n]) * c
+            else:
+                out = out + Affine.var(n, c)
+        return out
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Fully evaluate; every variable must be bound in ``env``."""
+        total = self.const
+        for n, c in self.coeffs:
+            if n not in env:
+                raise NotAffineError(f"unbound variable {n!r} in {self}")
+            total += c * _frac(env[n])
+        return total
+
+    # -- symbolic comparison ----------------------------------------------
+
+    def sign(
+        self, assume: Union[int, "Assumptions"] = DEFAULT_PARAM_MIN
+    ) -> Optional[int]:
+        """Sign of this form for all assignments respecting ``assume``.
+
+        Returns -1, 0, +1, or ``None`` when indeterminate.  Bounds are
+        one-sided (variables are assumed *unbounded above*), so a form with
+        any positive coefficient can only be ``+1`` or ``None``, and
+        symmetrically for negative coefficients.
+        """
+        if not self.coeffs:
+            c = self.const
+            return 0 if c == 0 else (1 if c > 0 else -1)
+        assume = Assumptions.of(assume)
+        coefs = [(n, c) for n, c in self.coeffs]
+        if all(c > 0 for _, c in coefs):
+            low = self.const
+            for n, c in coefs:
+                m = assume.min_of(n)
+                if m is None:
+                    return None
+                low += c * m
+            if low > 0:
+                return 1
+            return None
+        if all(c < 0 for _, c in coefs):
+            high = self.const
+            for n, c in coefs:
+                m = assume.min_of(n)
+                if m is None:
+                    return None
+                high += c * m
+            if high < 0:
+                return -1
+            return None
+        return None
+
+    def compare(
+        self,
+        other: Union["Affine", Number],
+        assume: Union[int, "Assumptions"] = DEFAULT_PARAM_MIN,
+    ) -> Optional[int]:
+        """Compare two affine forms; -1 / 0 / +1 / None as for :meth:`sign`."""
+        return (self - _coerce(other)).sign(assume)
+
+    def lower_bound(
+        self, assume: Union[int, "Assumptions"] = DEFAULT_PARAM_MIN
+    ) -> Optional[Fraction]:
+        """Greatest provable lower bound under ``assume`` (None if unbounded)."""
+        assume = Assumptions.of(assume)
+        total = self.const
+        for n, c in self.coeffs:
+            if c < 0:
+                return None  # no upper bounds are tracked
+            m = assume.min_of(n)
+            if m is None:
+                return None
+            total += c * m
+        return total
+
+    def is_nonnegative(
+        self, assume: Union[int, "Assumptions"] = DEFAULT_PARAM_MIN
+    ) -> Optional[bool]:
+        s = (self + 1).sign(assume)  # self >= 0  <=>  self + 1 > 0 for ints
+        if s == 1:
+            return True
+        s2 = self.sign(assume)
+        if s2 == -1:
+            return False
+        return None
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for n, c in self.coeffs:
+            if c == 1:
+                parts.append(n)
+            elif c == -1:
+                parts.append(f"-{n}")
+            else:
+                parts.append(f"{_fmt(c)}*{n}")
+        if self.const != 0 or not parts:
+            parts.append(_fmt(self.const))
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+        return out
+
+    __repr__ = __str__
+
+
+def _frac(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise NotAffineError(f"non-integral affine coefficient {value}")
+        return Fraction(int(value))
+    raise NotAffineError(f"cannot coerce {value!r} into an affine coefficient")
+
+
+def _coerce(value: Union[Affine, Number]) -> Affine:
+    if isinstance(value, Affine):
+        return value
+    return Affine.constant(value)
+
+
+def _fmt(c: Fraction) -> str:
+    return str(int(c)) if c.denominator == 1 else str(c)
+
+
+#: Shared zero / one singletons.
+ZERO = Affine()
+ONE = Affine.constant(1)

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the mini-language and the compiler built on it.
+
+Every error raised by the :mod:`repro` package derives from
+:class:`ReproError` so callers can catch the whole family with one clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LangError(ReproError):
+    """Base class for language-level (AST construction / validation) errors."""
+
+
+class ParseError(LangError):
+    """Raised when DSL source text cannot be parsed.
+
+    Carries the 1-based source position so tooling can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(LangError):
+    """Raised when a structurally invalid program is validated or executed."""
+
+
+class AnalysisError(ReproError):
+    """Raised when a program falls outside what an analysis can model."""
+
+
+class TransformError(ReproError):
+    """Raised when a transformation cannot be applied legally."""
+
+
+class NotAffineError(AnalysisError):
+    """Raised when an expression required to be affine is not."""
+
+
+class SimulationError(ReproError):
+    """Raised by the memory-hierarchy simulator on invalid configuration."""

@@ -1,0 +1,370 @@
+"""Recursive-descent parser for the mini loop language DSL.
+
+The surface syntax is deliberately Fortran-flavoured (1-based inclusive
+``for`` bounds) while using braces for blocks::
+
+    program adi
+    param N
+    real A[N, N], B[N, N], X[N, N]
+
+    for i = 2, N {
+      for j = 1, N {
+        A[j, i] = f(A[j, i], A[j, i-1], B[j, i])
+      }
+    }
+    A[1, 1] = 0.0
+    when i in [2, 4:N] { ... } else { ... }   # structured guard
+    proc relax(k) { ... }  /  call relax(3)
+
+Identifiers must be declared (param / real / scalar / loop index / proc
+formal) before use so typos fail loudly at parse time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .errors import ParseError
+from .expr import (
+    ArrayRef,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    IndexVar,
+    Param,
+    ScalarRef,
+    UnaryOp,
+)
+from .program import ArrayDecl, Procedure, Program
+from .stmt import Assign, CallStmt, Guard, Interval, Loop, Stmt
+
+_KEYWORDS = {
+    "program",
+    "param",
+    "real",
+    "int",
+    "scalar",
+    "for",
+    "when",
+    "in",
+    "else",
+    "proc",
+    "call",
+}
+
+_SYMBOLS = ("==", "{", "}", "[", "]", "(", ")", ",", "=", "+", "-", "*", "/", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'symbol' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("ident", text, line, col))
+            col += i - start
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                i += 1
+            text = source[start:i]
+            if text.count(".") > 1:
+                raise ParseError(f"malformed number {text!r}", line, col)
+            tokens.append(Token("number", text, line, col))
+            col += i - start
+            continue
+        for sym in _SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("symbol", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+class Parser:
+    """Single-pass recursive-descent parser producing a :class:`Program`."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self.params: list[str] = []
+        self.arrays: list[ArrayDecl] = []
+        self.scalars: list[str] = []
+        self.procedures: list[Procedure] = []
+        self.index_scope: list[str] = []
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        tok = self.peek()
+        return tok.kind in ("symbol", "ident") and tok.text == text
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.check(text):
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.column)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident" or tok.text in _KEYWORDS:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.line, tok.column)
+        return self.advance()
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self.expect("program")
+        name = self.expect_ident().text
+        body: list[Stmt] = []
+        while self.peek().kind != "eof":
+            tok = self.peek()
+            if self.accept("param"):
+                self.params.append(self.expect_ident().text)
+                while self.accept(","):
+                    self.params.append(self.expect_ident().text)
+            elif self.accept("real") or (tok.text == "int" and self.accept("int")):
+                self.arrays.append(self.parse_array_decl())
+                while self.accept(","):
+                    self.arrays.append(self.parse_array_decl())
+            elif self.accept("scalar"):
+                self.scalars.append(self.expect_ident().text)
+                while self.accept(","):
+                    self.scalars.append(self.expect_ident().text)
+            elif self.accept("proc"):
+                self.procedures.append(self.parse_procedure())
+            else:
+                body.append(self.parse_stmt())
+        return Program(
+            name=name,
+            params=tuple(self.params),
+            arrays=tuple(self.arrays),
+            scalars=tuple(self.scalars),
+            procedures=tuple(self.procedures),
+            body=tuple(body),
+        )
+
+    def parse_array_decl(self) -> ArrayDecl:
+        name = self.expect_ident().text
+        self.expect("[")
+        extents = [self.parse_expr()]
+        while self.accept(","):
+            extents.append(self.parse_expr())
+        self.expect("]")
+        return ArrayDecl(name, tuple(extents))
+
+    def parse_procedure(self) -> Procedure:
+        name = self.expect_ident().text
+        self.expect("(")
+        formals: list[str] = []
+        if not self.check(")"):
+            formals.append(self.expect_ident().text)
+            while self.accept(","):
+                formals.append(self.expect_ident().text)
+        self.expect(")")
+        self.index_scope.extend(formals)
+        body = self.parse_block()
+        del self.index_scope[len(self.index_scope) - len(formals):]
+        return Procedure(name, tuple(formals), body)
+
+    def parse_block(self) -> tuple[Stmt, ...]:
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.check("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return tuple(stmts)
+
+    def parse_stmt(self) -> Stmt:
+        if self.accept("for"):
+            index = self.expect_ident().text
+            self.expect("=")
+            lower = self.parse_expr()
+            self.expect(",")
+            upper = self.parse_expr()
+            self.index_scope.append(index)
+            body = self.parse_block()
+            self.index_scope.pop()
+            return Loop(index, lower, upper, body)
+        if self.accept("when"):
+            tok = self.peek()
+            index = self.expect_ident().text
+            if index not in self.index_scope:
+                raise ParseError(
+                    f"guard variable {index!r} is not a loop index in scope",
+                    tok.line,
+                    tok.column,
+                )
+            self.expect("in")
+            self.expect("[")
+            intervals = [self.parse_interval()]
+            while self.accept(","):
+                intervals.append(self.parse_interval())
+            self.expect("]")
+            body = self.parse_block()
+            else_body: tuple[Stmt, ...] = ()
+            if self.accept("else"):
+                else_body = self.parse_block()
+            return Guard(index, tuple(intervals), body, else_body)
+        if self.accept("call"):
+            name = self.expect_ident().text
+            self.expect("(")
+            args: list[Expr] = []
+            if not self.check(")"):
+                args.append(self.parse_expr())
+                while self.accept(","):
+                    args.append(self.parse_expr())
+            self.expect(")")
+            return CallStmt(name, tuple(args))
+        # assignment
+        target = self.parse_lvalue()
+        self.expect("=")
+        expr = self.parse_expr()
+        return Assign(target, expr)
+
+    def parse_interval(self) -> Interval:
+        lo = self.parse_expr().affine()
+        if self.accept(":"):
+            hi = self.parse_expr().affine()
+            return Interval(lo, hi)
+        return Interval.point(lo)
+
+    def parse_lvalue(self) -> Expr:
+        tok = self.expect_ident()
+        name = tok.text
+        if self.check("["):
+            return self.parse_subscripts(name)
+        if name in self.scalars:
+            return ScalarRef(name)
+        raise ParseError(
+            f"assignment to undeclared scalar {name!r}", tok.line, tok.column
+        )
+
+    def parse_subscripts(self, name: str) -> ArrayRef:
+        tok = self.peek()
+        if not any(a.name == name for a in self.arrays):
+            raise ParseError(f"undeclared array {name!r}", tok.line, tok.column)
+        self.expect("[")
+        indices = [self.parse_expr()]
+        while self.accept(","):
+            indices.append(self.parse_expr())
+        self.expect("]")
+        decl = next(a for a in self.arrays if a.name == name)
+        if len(indices) != decl.ndim:
+            raise ParseError(
+                f"array {name!r} has {decl.ndim} dims, subscripted with {len(indices)}",
+                tok.line,
+                tok.column,
+            )
+        return ArrayRef(name, tuple(indices))
+
+    # expression grammar: expr > term > factor > atom
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            if self.accept("+"):
+                left = BinOp("+", left, self.parse_term())
+            elif self.accept("-"):
+                left = BinOp("-", left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while True:
+            if self.accept("*"):
+                left = BinOp("*", left, self.parse_factor())
+            elif self.accept("/"):
+                left = BinOp("/", left, self.parse_factor())
+            else:
+                return left
+
+    def parse_factor(self) -> Expr:
+        if self.accept("-"):
+            return UnaryOp("-", self.parse_factor())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            if "." in tok.text:
+                return Const(float(tok.text))
+            return Const(int(tok.text))
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        ident = self.expect_ident()
+        name = ident.text
+        if self.check("("):
+            self.advance()
+            args: list[Expr] = []
+            if not self.check(")"):
+                args.append(self.parse_expr())
+                while self.accept(","):
+                    args.append(self.parse_expr())
+            self.expect(")")
+            return Call(name, tuple(args))
+        if self.check("["):
+            return self.parse_subscripts(name)
+        if name in self.params:
+            return Param(name)
+        if name in self.index_scope:
+            return IndexVar(name)
+        if name in self.scalars:
+            return ScalarRef(name)
+        raise ParseError(f"undeclared identifier {name!r}", ident.line, ident.column)
+
+
+def parse(source: str) -> Program:
+    """Parse DSL source text into a :class:`Program`."""
+    return Parser(source).parse_program()

@@ -1,0 +1,30 @@
+"""Memory-hierarchy simulation substrate (replaces hardware counters)."""
+
+from .cache import CacheConfig, CacheResult, simulate_cache, simulate_cache_writeback
+from .hierarchy import MemStats, miss_mask_l1, simulate_hierarchy
+from .machine import (
+    MACHINES,
+    MachineConfig,
+    TimingModel,
+    TLBConfig,
+    octane,
+    origin2000,
+    scaled_machine,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheResult",
+    "MACHINES",
+    "MachineConfig",
+    "MemStats",
+    "TLBConfig",
+    "TimingModel",
+    "miss_mask_l1",
+    "octane",
+    "origin2000",
+    "scaled_machine",
+    "simulate_cache",
+    "simulate_cache_writeback",
+    "simulate_hierarchy",
+]

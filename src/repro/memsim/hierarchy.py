@@ -1,0 +1,110 @@
+"""Whole-hierarchy simulation: trace + layout + machine -> miss counts.
+
+The L1 sees every access; the L2 sees exactly the L1 misses (the chained
+miss mask); the TLB sees every access at page granularity.  Data
+transferred from memory is L2 misses x L2 line size — the quantity the
+paper's §6 table normalizes — and execution time is synthesized from the
+additive :class:`TimingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.regroup.layout import Layout
+from ..interp.trace import AccessTrace
+from .cache import simulate_cache, simulate_cache_writeback
+from .machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class MemStats:
+    """Result of simulating one program variant on one machine."""
+
+    machine: str
+    accesses: int
+    l1_misses: int
+    l2_misses: int
+    tlb_misses: int
+    l1_line_bytes: int
+    l2_line_bytes: int
+    seconds: float
+    #: dirty L2 lines written back to memory (outbound bandwidth)
+    l2_writebacks: int = 0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        return self.tlb_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def data_transferred_bytes(self) -> int:
+        """Bytes moved between memory and cache in both directions (the
+        bandwidth the program actually consumed): line fills plus dirty
+        write-backs."""
+        return (self.l2_misses + self.l2_writebacks) * self.l2_line_bytes
+
+    def normalized_to(self, base: "MemStats") -> dict[str, float]:
+        def ratio(a: float, b: float) -> float:
+            return a / b if b else (0.0 if a == 0 else float("inf"))
+
+        return {
+            "time": ratio(self.seconds, base.seconds),
+            "l1": ratio(self.l1_misses, base.l1_misses),
+            "l2": ratio(self.l2_misses, base.l2_misses),
+            "tlb": ratio(self.tlb_misses, base.tlb_misses),
+        }
+
+
+def simulate_hierarchy(
+    trace: AccessTrace, layout: Layout, machine: MachineConfig
+) -> MemStats:
+    """Simulate L1 -> L2 -> TLB for one (trace, layout) pair."""
+    addresses = layout.addresses(trace, in_bytes=True)
+    l1_miss = simulate_cache(machine.l1, addresses)
+    l2 = simulate_cache_writeback(
+        machine.l2, addresses[l1_miss], trace.writes[l1_miss]
+    )
+    tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses)
+    n = len(addresses)
+    n1 = int(l1_miss.sum())
+    n2 = l2.misses
+    nt = int(tlb_miss.sum())
+    t = machine.timing
+    cycles = (
+        n * t.cycles_per_access
+        + n1 * t.l1_miss_cycles
+        + n2 * t.l2_miss_cycles
+        + nt * t.tlb_miss_cycles
+    )
+    latency_seconds = cycles / (t.clock_mhz * 1e6)
+    bandwidth_seconds = (
+        (n2 + l2.writebacks) * machine.l2.line_bytes
+    ) / (t.bandwidth_mb_s * 1e6)
+    return MemStats(
+        machine=machine.name,
+        accesses=n,
+        l1_misses=n1,
+        l2_misses=n2,
+        tlb_misses=nt,
+        l1_line_bytes=machine.l1.line_bytes,
+        l2_line_bytes=machine.l2.line_bytes,
+        seconds=max(latency_seconds, bandwidth_seconds),
+        l2_writebacks=l2.writebacks,
+    )
+
+
+def miss_mask_l1(
+    trace: AccessTrace, layout: Layout, machine: MachineConfig
+) -> np.ndarray:
+    """Per-access L1 miss mask (analysis/visualization support)."""
+    return simulate_cache(machine.l1, layout.addresses(trace, in_bytes=True))

@@ -1,0 +1,125 @@
+"""Machine models: cache/TLB geometry and the timing substitution.
+
+The paper measures on two MIPS machines with identical L1s and 2-way
+caches throughout (§4.2):
+
+* SGI **Octane** (R10K): L1 32 KB / 32 B lines, L2 1 MB / 128 B lines,
+  64-entry TLB;
+* SGI **Origin2000** (R12K): same but a 4 MB L2.
+
+Those are reproduced structurally below.  Because a pure-Python simulator
+cannot sweep 2K×2K meshes, each machine has a ``scaled`` variant: cache
+capacities and TLB entries shrink by the same factor as the data set, so
+the data:cache ratio — which determines every qualitative result — is
+preserved.  EXPERIMENTS.md records the factor per experiment.
+
+Execution time is synthesized from miss counts with an additive penalty
+model (a documented substitution for the hardware's wall clock): the
+*shape* of Fig. 10 comes from miss counts, which we measure exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Fully-associative LRU TLB."""
+
+    entries: int
+    page_bytes: int
+
+    def scaled(self, factor: float) -> "TLBConfig":
+        return TLBConfig(max(4, int(self.entries * factor)), self.page_bytes)
+
+    def as_cache(self) -> CacheConfig:
+        return CacheConfig(
+            "tlb", self.entries * self.page_bytes, self.page_bytes, 0
+        )
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Additive cycle costs per event (calibrated to MIPS-era ratios)."""
+
+    cycles_per_access: float = 1.0
+    l1_miss_cycles: float = 10.0  # L1 miss that hits in L2
+    l2_miss_cycles: float = 90.0  # memory access
+    tlb_miss_cycles: float = 60.0  # software-assisted reload
+    clock_mhz: float = 300.0
+    #: sustained memory bandwidth; memory time is also bounded below by
+    #: transferred bytes / bandwidth (the paper's effective-bandwidth lens)
+    bandwidth_mb_s: float = 400.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    name: str
+    l1: CacheConfig
+    l2: CacheConfig
+    tlb: TLBConfig
+    timing: TimingModel = TimingModel()
+
+    def scaled(self, factor: float, suffix: str = "") -> "MachineConfig":
+        """Shrink the hierarchy with the data set (see module docstring)."""
+        return replace(
+            self,
+            name=f"{self.name}{suffix or f'/x{factor:g}'}",
+            l1=self.l1.scaled(factor),
+            l2=self.l2.scaled(factor),
+            tlb=self.tlb.scaled(factor),
+        )
+
+
+def octane() -> MachineConfig:
+    """SGI Octane (R10K): 32 KB L1, 1 MB L2, 64-entry TLB (§4.2)."""
+    return MachineConfig(
+        name="octane",
+        l1=CacheConfig("L1", 32 * 1024, 32, 2),
+        l2=CacheConfig("L2", 1024 * 1024, 128, 2),
+        tlb=TLBConfig(64, 16 * 1024),
+    )
+
+
+def origin2000() -> MachineConfig:
+    """SGI Origin2000 (R12K): 32 KB L1, 4 MB L2, 64-entry TLB (§4.2)."""
+    return MachineConfig(
+        name="origin2000",
+        l1=CacheConfig("L1", 32 * 1024, 32, 2),
+        l2=CacheConfig("L2", 4 * 1024 * 1024, 128, 2),
+        tlb=TLBConfig(64, 16 * 1024),
+    )
+
+
+def scaled_machine(
+    base: MachineConfig,
+    l1_bytes: int,
+    l2_bytes: int,
+    tlb_entries: int,
+    page_bytes: int,
+    suffix: str = "/scaled",
+) -> MachineConfig:
+    """A hand-scaled hierarchy (per-application, see EXPERIMENTS.md).
+
+    Line sizes and associativities are preserved; capacities are chosen
+    per level so the dimensionless ratios that drive each level's
+    behaviour survive the smaller data sets: rows-per-L1 (spatial/stencil
+    reuse), data-per-L2 (capacity misses across phases), and
+    streams-per-TLB-entry (page thrash under fusion).
+    """
+    return replace(
+        base,
+        name=base.name + suffix,
+        l1=CacheConfig("L1", l1_bytes, base.l1.line_bytes, base.l1.assoc),
+        l2=CacheConfig("L2", l2_bytes, base.l2.line_bytes, base.l2.assoc),
+        tlb=TLBConfig(tlb_entries, page_bytes),
+    )
+
+
+MACHINES = {
+    "octane": octane,
+    "origin2000": origin2000,
+}

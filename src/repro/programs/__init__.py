@@ -1,0 +1,18 @@
+"""The paper's benchmark programs, written in the mini-language."""
+
+from . import adi, fft, sp, sweep3d, swim, tomcatv
+from .registry import APPLICATIONS, STUDY_PROGRAMS, BenchmarkProgram, build_fft, get
+
+__all__ = [
+    "APPLICATIONS",
+    "BenchmarkProgram",
+    "STUDY_PROGRAMS",
+    "adi",
+    "build_fft",
+    "fft",
+    "get",
+    "sp",
+    "sweep3d",
+    "swim",
+    "tomcatv",
+]

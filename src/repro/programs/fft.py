@@ -1,0 +1,62 @@
+"""FFT — radix-2 Cooley-Tukey kernel (paper §2.2).
+
+Used only in the reuse-driven-execution study: the paper reports that
+reuse-driven execution did *not* improve FFT (evadable reuses up 6%),
+because the butterfly dependence structure already forces long-range
+pairings — there is no execution order that keeps all reuses short.
+
+Stage strides double every pass, so the loop structure depends on the
+transform size; the builder generates the ``log2(n)`` stage nests for a
+concrete power-of-two size (all bounds and strides constant, hence
+affine).  Arrays: data real/imag + twiddle real/imag.
+"""
+
+from __future__ import annotations
+
+from ..lang import Program, parse
+
+
+def build(n: int = 256) -> Program:
+    if n & (n - 1) or n < 4:
+        raise ValueError("FFT size must be a power of two >= 4")
+    lines = [
+        "program fft",
+        f"real RE[{n}], IM[{n}], WR[{n}], WI[{n}]",
+        "",
+    ]
+    h = 1
+    stage = 0
+    while h < n:
+        span = 2 * h
+        groups = n // span
+        stage += 1
+        lines += [
+            f"# stage {stage}: butterflies of span {span}",
+            f"for g = 1, {groups} {{",
+            f"  for k = 1, {h} {{",
+            f"    RE[(g - 1) * {span} + k] = bfa(RE[(g - 1) * {span} + k],"
+            f" RE[(g - 1) * {span} + k + {h}], WR[(k - 1) * {groups} + 1],"
+            f" IM[(g - 1) * {span} + k + {h}], WI[(k - 1) * {groups} + 1])",
+            f"    IM[(g - 1) * {span} + k] = bfa(IM[(g - 1) * {span} + k],"
+            f" IM[(g - 1) * {span} + k + {h}], WR[(k - 1) * {groups} + 1],"
+            f" RE[(g - 1) * {span} + k + {h}], WI[(k - 1) * {groups} + 1])",
+            f"    RE[(g - 1) * {span} + k + {h}] = bfb(RE[(g - 1) * {span} + k],"
+            f" RE[(g - 1) * {span} + k + {h}], WR[(k - 1) * {groups} + 1])",
+            f"    IM[(g - 1) * {span} + k + {h}] = bfb(IM[(g - 1) * {span} + k],"
+            f" IM[(g - 1) * {span} + k + {h}], WI[(k - 1) * {groups} + 1])",
+            "  }",
+            "}",
+        ]
+        h = span
+    return parse("\n".join(lines))
+
+
+PAPER_FACTS = {
+    "source": "self-written kernel (study program, §2.2)",
+    "input_size": "power-of-two transform",
+    "role": "reuse-driven execution does not help (+6% evadable reuses)",
+}
+
+DEFAULT_N = 256
+SMALL_N = 128
+LARGE_N = 256

@@ -1,0 +1,98 @@
+"""Swim — SPEC95 shallow-water model (paper Fig. 9).
+
+Structurally faithful re-implementation: 15 arrays, 8 loop nests of 1–2
+levels inside the time step.  The three physics phases (CALC1/2/3) are
+2-level stencil sweeps; between them sit the periodic-boundary wrap
+loops.  Wraps along the *row* dimension share the sweep's outer loop and
+fuse; wraps along the *column* dimension genuinely serialize against the
+sweep that produced the data (they read the last column) — the mixture is
+why the paper reports Swim "also requires loop splitting" and why its
+gains are the most modest of the four applications.
+"""
+
+from __future__ import annotations
+
+from ..lang import Program, parse
+
+SOURCE = """
+program swim
+param N
+real U[N, N], V[N, N], P[N, N]
+real UNEW[N, N], VNEW[N, N], PNEW[N, N]
+real UOLD[N, N], VOLD[N, N], POLD[N, N]
+real CU[N, N], CV[N, N], Z[N, N], H[N, N]
+real PSI[N, N], COEF[N, N]
+
+# CALC1: mass fluxes, vorticity, height field
+for i = 1, N - 1 {
+  for j = 1, N - 1 {
+    CU[j, i] = cu(P[j + 1, i], P[j, i], U[j + 1, i])
+    CV[j, i] = cv(P[j, i + 1], P[j, i], V[j, i + 1])
+    Z[j, i] = zeta(V[j + 1, i], V[j, i], U[j, i + 1], U[j, i], COEF[j, i], P[j, i])
+    H[j, i] = hgt(P[j, i], U[j + 1, i], U[j, i], V[j, i + 1], V[j, i])
+  }
+}
+# periodic boundaries: copy first interior row/column to the wrap row/column
+for i = 1, N - 1 {
+  CU[N, i] = CU[1, i]
+  Z[N, i] = Z[1, i]
+}
+for j = 1, N - 1 {
+  CV[j, N] = CV[j, 1]
+  H[j, N] = H[j, 1]
+}
+
+# CALC2: new velocities and height
+for i = 1, N - 1 {
+  for j = 1, N - 1 {
+    UNEW[j, i] = unew(UOLD[j, i], Z[j, i], CV[j + 1, i], CV[j, i], H[j + 1, i], H[j, i])
+    VNEW[j, i] = vnew(VOLD[j, i], Z[j, i], CU[j, i + 1], CU[j, i], H[j, i + 1], H[j, i])
+    PNEW[j, i] = pnew(POLD[j, i], CU[j + 1, i], CU[j, i], CV[j, i + 1], CV[j, i])
+  }
+}
+for i = 1, N - 1 {
+  UNEW[N, i] = UNEW[1, i]
+  PNEW[N, i] = PNEW[1, i]
+}
+for j = 1, N - 1 {
+  VNEW[j, N] = VNEW[j, 1]
+}
+
+# CALC3: time smoothing and variable rotation
+for i = 1, N - 1 {
+  for j = 1, N - 1 {
+    UOLD[j, i] = tsm(U[j, i], UNEW[j, i], UOLD[j, i])
+    VOLD[j, i] = tsm(V[j, i], VNEW[j, i], VOLD[j, i])
+    POLD[j, i] = tsm(P[j, i], PNEW[j, i], POLD[j, i])
+    U[j, i] = cp(UNEW[j, i])
+    V[j, i] = cp(VNEW[j, i])
+    P[j, i] = cp(PNEW[j, i])
+  }
+}
+# stream-function diagnostic
+for i = 1, N - 1 {
+  for j = 1, N - 1 {
+    PSI[j, i] = psi(PSI[j, i], U[j, i], V[j, i])
+  }
+}
+"""
+
+
+def build() -> Program:
+    return parse(SOURCE)
+
+
+PAPER_FACTS = {
+    "source": "SPEC95",
+    "input_size": "513 x 513",
+    "lines": 429,
+    "loop_nests": 8,
+    "nest_levels": (1, 2),
+    "arrays": 15,
+}
+
+DEFAULT_PARAMS = {"N": 97}
+PAPER_PARAMS = {"N": 513}
+SMALL_PARAMS = {"N": 48}
+LARGE_PARAMS = {"N": 97}
+DEFAULT_STEPS = 2

@@ -1,0 +1,12 @@
+"""Reuse-driven execution limit study (paper §2.2)."""
+
+from .dataflow import DataflowInfo, build_dataflow, producers_by_instruction
+from .driver import ReuseDrivenResult, reuse_driven_order
+
+__all__ = [
+    "DataflowInfo",
+    "ReuseDrivenResult",
+    "build_dataflow",
+    "producers_by_instruction",
+    "reuse_driven_order",
+]

@@ -1,0 +1,114 @@
+"""Dynamic dataflow structure over an instruction-annotated trace.
+
+Reuse-driven execution (§2.2) needs three things per dynamic instruction:
+
+* its **producers** — the instructions that last wrote each datum it
+  reads (flow dependences; the "ideal parallel machine" executes an
+  instruction as soon as its operands are ready, i.e. storage is renamed
+  and anti/output dependences vanish);
+* its **dataflow level** — the cycle at which the ideal machine runs it;
+* its **next use** — the closest later instruction (in program order)
+  touching any datum it accesses, which is what the Fig. 2 algorithm
+  chases.
+
+All three are computed with vectorized passes over the access trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..interp.trace import AccessTrace
+from ..lang import AnalysisError
+
+
+@dataclass
+class DataflowInfo:
+    """Per-instruction dataflow facts derived from a trace."""
+
+    num_instructions: int
+    #: flow producer per *access* (-1 when none / the access is a write)
+    producer_per_access: np.ndarray
+    #: dataflow level per instruction (0 = no producers)
+    level: np.ndarray
+    #: next instruction (program order) sharing any datum; -1 if none
+    next_use: np.ndarray
+    #: ideal parallel execution order (level-major, program-order minor)
+    ideal_order: np.ndarray
+
+
+def build_dataflow(trace: AccessTrace) -> DataflowInfo:
+    if trace.instr_ids is None:
+        raise AnalysisError("trace was generated without instruction ids")
+    keys = trace.global_keys()
+    instr = trace.instr_ids
+    writes = trace.writes
+    n_acc = len(keys)
+    n_instr = int(instr[-1]) + 1 if n_acc else 0
+
+    # -- flow producers: last writer of each cell before each read ---------
+    producer = np.full(n_acc, -1, dtype=np.int64)
+    last_writer: dict[int, int] = {}
+    keys_list = keys.tolist()
+    instr_list = instr.tolist()
+    writes_list = writes.tolist()
+    for t in range(n_acc):
+        key = keys_list[t]
+        if writes_list[t]:
+            last_writer[key] = instr_list[t]
+        else:
+            producer[t] = last_writer.get(key, -1)
+
+    # -- dataflow levels ----------------------------------------------------
+    # producers always precede consumers in program order, so one forward
+    # sweep over instructions suffices.
+    level = np.zeros(n_instr, dtype=np.int64)
+    read_mask = producer >= 0
+    cons_instr = instr[read_mask]
+    prod_instr = producer[read_mask]
+    # process consumers in program order; per-instruction max over producers
+    order = np.argsort(cons_instr, kind="stable")
+    for t in order.tolist():
+        c = cons_instr[t]
+        p = prod_instr[t]
+        lv = level[p] + 1
+        if lv > level[c]:
+            level[c] = lv
+
+    # -- next use -----------------------------------------------------------
+    next_use = np.full(n_instr, -1, dtype=np.int64)
+    next_of_key: dict[int, int] = {}
+    for t in range(n_acc - 1, -1, -1):
+        key = keys_list[t]
+        i = instr_list[t]
+        nxt = next_of_key.get(key, -1)
+        if nxt != -1 and nxt != i:
+            cur = next_use[i]
+            if cur == -1 or nxt < cur:
+                next_use[i] = nxt
+        next_of_key[key] = i
+
+    # -- ideal order ----------------------------------------------------------
+    ideal = np.lexsort((np.arange(n_instr), level))
+    return DataflowInfo(
+        num_instructions=n_instr,
+        producer_per_access=producer,
+        level=level,
+        next_use=next_use,
+        ideal_order=ideal,
+    )
+
+
+def producers_by_instruction(trace: AccessTrace, info: DataflowInfo) -> list[list[int]]:
+    """Deduplicated producer lists per instruction (ForceExecute support)."""
+    out: list[list[int]] = [[] for _ in range(info.num_instructions)]
+    mask = info.producer_per_access >= 0
+    cons = trace.instr_ids[mask].tolist()
+    prods = info.producer_per_access[mask].tolist()
+    for c, p in zip(cons, prods):
+        bucket = out[c]
+        if not bucket or bucket[-1] != p:
+            bucket.append(p)
+    return out

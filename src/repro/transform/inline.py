@@ -1,0 +1,65 @@
+"""Procedure inlining (paper §4.1, first preliminary transformation).
+
+The paper brings all computation loops into one procedure before analysis
+("inlining is done by hand; [it] can be automated") — here it *is*
+automated: every :class:`CallStmt` is replaced by the callee's body with
+formals substituted by the actual argument expressions.  Formals are
+index-like (affine) values; recursive call chains are expanded up to a
+depth limit so accidental recursion fails loudly.
+"""
+
+from __future__ import annotations
+
+from ..lang import CallStmt, Guard, Loop, Program, Stmt, TransformError
+from .subst import FreshNames, bound_names, rename_bound, subst_stmt
+
+_MAX_DEPTH = 32
+
+
+def _expand(
+    stmt: Stmt, program: Program, fresh: FreshNames, depth: int
+) -> list[Stmt]:
+    if isinstance(stmt, CallStmt):
+        if depth > _MAX_DEPTH:
+            raise TransformError(
+                f"procedure {stmt.proc!r}: inlining exceeded depth {_MAX_DEPTH}"
+            )
+        proc = program.procedure(stmt.proc)
+        bindings = dict(zip(proc.formals, stmt.args))
+        out: list[Stmt] = []
+        for s in proc.body:
+            renamed = rename_bound(s, set(bindings), fresh)
+            substituted = subst_stmt(renamed, bindings)
+            out.extend(_expand(substituted, program, fresh, depth + 1))
+        return out
+    if isinstance(stmt, Loop):
+        body: list[Stmt] = []
+        for s in stmt.body:
+            body.extend(_expand(s, program, fresh, depth))
+        return [stmt.with_body(body)]
+    if isinstance(stmt, Guard):
+        body = []
+        for s in stmt.body:
+            body.extend(_expand(s, program, fresh, depth))
+        else_body: list[Stmt] = []
+        for s in stmt.else_body:
+            else_body.extend(_expand(s, program, fresh, depth))
+        return [Guard(stmt.index, stmt.intervals, tuple(body), tuple(else_body))]
+    return [stmt]
+
+
+def inline_procedures(program: Program) -> Program:
+    """Expand every procedure call; the result has no procedures left."""
+    if not program.procedures:
+        return program
+    fresh = FreshNames(set(program.params))
+    fresh.reserve(bound_names(program.body))
+    for proc in program.procedures:
+        fresh.reserve(bound_names(proc.body))
+        fresh.reserve(proc.formals)
+    body: list[Stmt] = []
+    for stmt in program.body:
+        body.extend(_expand(stmt, program, fresh, 0))
+    from dataclasses import replace
+
+    return replace(program, body=tuple(body), procedures=())

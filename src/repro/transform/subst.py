@@ -1,0 +1,167 @@
+"""Capture-avoiding substitution and renaming over the AST.
+
+Loop fusion, statement embedding, peeling, and inlining all rewrite index
+variables.  ``subst_stmt`` maps an index variable to an arbitrary affine
+expression (``i -> f - 2``), translating :class:`Guard` statements whose
+guard variable is being substituted (their intervals shift by the offset).
+``rename_bound`` alpha-renames inner loop indices away from a set of
+reserved names before bodies from different loops are merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Mapping, Sequence
+
+from ..lang import (
+    Affine,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Expr,
+    Guard,
+    IndexVar,
+    Interval,
+    Loop,
+    Param,
+    ScalarRef,
+    Stmt,
+    TransformError,
+    UnaryOp,
+    affine_expr,
+)
+
+
+def subst_expr(expr: Expr, bindings: Mapping[str, Expr]) -> Expr:
+    """Replace index variables by expressions throughout ``expr``."""
+    if isinstance(expr, IndexVar):
+        return bindings.get(expr.name, expr)
+    if isinstance(expr, (Const, Param, ScalarRef)):
+        return expr
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.array, tuple(subst_expr(e, bindings) for e in expr.indices))
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, subst_expr(expr.left, bindings), subst_expr(expr.right, bindings))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, subst_expr(expr.operand, bindings))
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(subst_expr(a, bindings) for a in expr.args))
+    raise TransformError(f"cannot substitute in {expr!r}")
+
+
+def _binding_var_offset(expr: Expr) -> tuple[str, Affine]:
+    """Decompose a binding used for a guard variable into (var, offset).
+
+    Substituting the variable a :class:`Guard` tests requires the
+    replacement to be ``newvar + offset``; then ``old in [a, b]`` becomes
+    ``new in [a - offset, b - offset]``.
+    """
+    form = expr.affine()
+    vars_ = list(form.variables())
+    if len(vars_) != 1 or form.coeff(vars_[0]) != 1:
+        raise TransformError(
+            f"guard variable substituted by non-translatable expression {expr}"
+        )
+    name = vars_[0]
+    return name, form - Affine.var(name)
+
+
+def subst_affine(form: Affine, bindings: Mapping[str, Expr]) -> Affine:
+    """Substitute into an affine form (bindings must be affine exprs)."""
+    return form.substitute({n: e.affine() for n, e in bindings.items() if n in form.variables()})
+
+
+def subst_stmt(stmt: Stmt, bindings: Mapping[str, Expr]) -> Stmt:
+    """Capture-avoiding substitution over a statement tree.
+
+    Binders (loop indices) must not collide with binding names or their
+    free variables — callers rename first via :func:`rename_bound`.
+    """
+    if not bindings:
+        return stmt
+    if isinstance(stmt, Assign):
+        return Assign(subst_expr(stmt.target, bindings), subst_expr(stmt.expr, bindings))
+    if isinstance(stmt, Loop):
+        if stmt.index in bindings:
+            raise TransformError(
+                f"substitution target {stmt.index!r} is re-bound by an inner loop"
+            )
+        return replace(
+            stmt,
+            lower=subst_expr(stmt.lower, bindings),
+            upper=subst_expr(stmt.upper, bindings),
+            body=tuple(subst_stmt(s, bindings) for s in stmt.body),
+        )
+    if isinstance(stmt, Guard):
+        body = tuple(subst_stmt(s, bindings) for s in stmt.body)
+        else_body = tuple(subst_stmt(s, bindings) for s in stmt.else_body)
+        if stmt.index in bindings:
+            new_var, offset = _binding_var_offset(bindings[stmt.index])
+            intervals = tuple(
+                Interval(
+                    subst_affine(iv.lower, bindings) - offset,
+                    subst_affine(iv.upper, bindings) - offset,
+                )
+                for iv in stmt.intervals
+            )
+            return Guard(new_var, intervals, body, else_body)
+        intervals = tuple(
+            Interval(subst_affine(iv.lower, bindings), subst_affine(iv.upper, bindings))
+            for iv in stmt.intervals
+        )
+        return Guard(stmt.index, intervals, body, else_body)
+    if isinstance(stmt, CallStmt):
+        return CallStmt(stmt.proc, tuple(subst_expr(a, bindings) for a in stmt.args))
+    raise TransformError(f"cannot substitute in {type(stmt).__name__}")
+
+
+def bound_names(stmts: Sequence[Stmt]) -> set[str]:
+    """All loop indices bound anywhere inside ``stmts``."""
+    out: set[str] = set()
+    for s in stmts:
+        for node in s.walk():
+            if isinstance(node, Loop):
+                out.add(node.index)
+    return out
+
+
+class FreshNames:
+    """Generates index names avoiding a reserved set."""
+
+    def __init__(self, reserved: Iterable[str] = ()) -> None:
+        self.reserved = set(reserved)
+        self.counter = 0
+
+    def reserve(self, names: Iterable[str]) -> None:
+        self.reserved.update(names)
+
+    def fresh(self, base: str = "f") -> str:
+        while True:
+            self.counter += 1
+            name = f"{base}{self.counter}"
+            if name not in self.reserved:
+                self.reserved.add(name)
+                return name
+
+
+def rename_bound(stmt: Stmt, avoid: set[str], fresh: FreshNames) -> Stmt:
+    """Alpha-rename loop indices inside ``stmt`` that collide with ``avoid``."""
+    if isinstance(stmt, Loop):
+        body = tuple(rename_bound(s, avoid, fresh) for s in stmt.body)
+        new = replace(stmt, body=body)
+        if stmt.index in avoid:
+            name = fresh.fresh(stmt.index)
+            inner = tuple(subst_stmt(s, {stmt.index: IndexVar(name)}) for s in body)
+            new = replace(stmt, index=name, body=inner)
+        return new
+    if isinstance(stmt, Guard):
+        return Guard(
+            stmt.index,
+            stmt.intervals,
+            tuple(rename_bound(s, avoid, fresh) for s in stmt.body),
+            tuple(rename_bound(s, avoid, fresh) for s in stmt.else_body),
+        )
+    return stmt

@@ -1,0 +1,66 @@
+"""Subscript classification tests."""
+
+from repro.analysis import DimKind, classify_subscript
+from repro.lang import Affine
+
+PARAMS = frozenset({"N"})
+INNER = frozenset({"j", "k"})
+
+
+def cls(form):
+    return classify_subscript(form, "i", INNER, PARAMS)
+
+
+def test_variant():
+    d = cls(Affine.var("i") + 2)
+    assert d.kind is DimKind.VARIANT
+    assert d.value == Affine.constant(2)
+
+
+def test_variant_with_param_offset():
+    d = cls(Affine.var("i") + Affine.var("N") - 1)
+    assert d.kind is DimKind.VARIANT
+    assert d.value == Affine.var("N") - 1
+
+
+def test_invariant_constant():
+    d = cls(Affine.constant(1))
+    assert d.kind is DimKind.INVARIANT
+    assert d.value.int_value() == 1
+
+
+def test_invariant_param():
+    d = cls(Affine.var("N"))
+    assert d.kind is DimKind.INVARIANT
+
+
+def test_inner():
+    d = cls(Affine.var("j") - 1)
+    assert d.kind is DimKind.INNER
+    assert d.inner_vars == {"j"}
+
+
+def test_inner_reversed_direction():
+    # N - j: still swept by the inner loop, whole-dimension from the frame
+    d = cls(Affine.var("N") - Affine.var("j"))
+    assert d.kind is DimKind.INNER
+
+
+def test_complex_nonunit_coefficient():
+    d = cls(Affine.var("i") * 2)
+    assert d.kind is DimKind.COMPLEX
+
+
+def test_complex_negative_frame():
+    d = cls(Affine.var("N") - Affine.var("i"))
+    assert d.kind is DimKind.COMPLEX
+
+
+def test_complex_mixed_frame_and_inner():
+    d = cls(Affine.var("i") + Affine.var("j"))
+    assert d.kind is DimKind.COMPLEX
+
+
+def test_unknown_variable_is_complex():
+    d = cls(Affine.var("mystery"))
+    assert d.kind is DimKind.COMPLEX

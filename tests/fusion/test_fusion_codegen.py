@@ -1,0 +1,129 @@
+"""Fused-loop code generation tests (segmented + guarded emitters)."""
+
+from repro.core.fusion import FusionUnit, unit_to_stmts
+from repro.core.fusion.unit import Embed, Member
+from repro.lang import Affine, Guard, Loop, parse, validate
+from repro.transform.subst import FreshNames
+
+from conftest import assert_same_semantics, build
+
+
+def _loops(source):
+    p = build(source)
+    return p, [s for s in p.body if isinstance(s, Loop)]
+
+
+def test_simple_loop_passthrough():
+    p, (loop,) = _loops(
+        "program t\nparam N\nreal A[N]\nfor i = 1, N { A[i] = 0.0 }"
+    )
+    unit = FusionUnit.from_loop(loop, p.params)
+    out = unit_to_stmts(unit, FreshNames({"N"}))
+    assert out == [loop]
+
+
+def test_segmented_emission_with_shift():
+    p, (l1, l2) = _loops(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 1, N { A[i] = 1.0 }
+        for i = 1, N - 1 { B[i] = g(A[i + 1]) }
+        """
+    )
+    unit = FusionUnit.from_loop(l1, p.params).fuse_with(
+        FusionUnit.from_loop(l2, p.params), 1
+    )
+    out = unit_to_stmts(unit, FreshNames({"N"}))
+    # segments: [1,1] (only l1), [2,N] (both)
+    loops = [s for s in out if isinstance(s, Loop)]
+    assert len(loops) == 1  # the width-1 prologue is inlined straight-line
+    transformed = p.with_body(tuple(out))
+    assert_same_semantics(p, transformed)
+
+
+def test_embed_lands_in_own_width1_segment():
+    p, (l1,) = _loops(
+        "program t\nparam N\nreal A[N]\nfor i = 1, N { A[i] = f(A[i]) }"
+    )
+    stmt = build("program s\nparam N\nreal A[N]\nA[3] = 9.0").body[0]
+    unit = FusionUnit.from_loop(l1, p.params).with_embed_last(
+        [stmt], Affine.constant(3)
+    )
+    out = unit_to_stmts(unit, FreshNames({"N"}))
+    flat = []
+    for s in out:
+        flat.extend([s] if isinstance(s, Loop) else [s])
+    # expect: loop [1,2], inline i=3 body + stmt, loop [4,N]
+    assert any(not isinstance(s, Loop) for s in out)
+    transformed = p.with_body(tuple(out))
+    validate(transformed)
+
+
+def test_guarded_fallback_on_incomparable_bounds():
+    p = build(
+        """
+        program t
+        param N, M
+        real A[N], B[N]
+        for i = 1, N { A[i] = 1.0 }
+        for i = 1, M { B[i] = 2.0 }
+        """
+    )
+    l1, l2 = p.body
+    unit = FusionUnit.from_loop(l1, p.params).fuse_with(
+        FusionUnit.from_loop(l2, p.params), 0
+    )
+    # N vs M order unknown -> hull unknown -> cannot emit
+    assert unit.hull(8) is None
+
+
+def test_guarded_fallback_emits_guards():
+    # comparable hull but incomparable interior breakpoints
+    p = build(
+        """
+        program t
+        param N, M
+        real A[N, N + M], B[N, N + M]
+        for i = 1, N + M { A[1, i] = 1.0 }
+        for i = 1, N { B[1, i] = 2.0 }
+        for i = 1, M { B[2, i] = 3.0 }
+        """
+    )
+    l1, l2, l3 = p.body
+    unit = (
+        FusionUnit.from_loop(l1, p.params)
+        .fuse_with(FusionUnit.from_loop(l2, p.params), 0)
+        .fuse_with(FusionUnit.from_loop(l3, p.params), 0)
+    )
+    out = unit_to_stmts(unit, FreshNames({"N", "M"}))
+    assert len(out) == 1
+    assert any(isinstance(s, Guard) for s in out[0].body)
+    transformed = p.with_body(tuple(out))
+    validate(transformed)
+    import numpy as np
+    from repro.interp import run_program
+
+    for n, m in ((8, 9), (12, 8)):
+        ref = run_program(p, {"N": n, "M": m})
+        got = run_program(transformed, {"N": n, "M": m})
+        assert all(np.array_equal(ref[k], got[k]) for k in ref)
+
+
+def test_member_label_propagates():
+    p, (l1, l2) = _loops(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 1, N { A[i] = 1.0 }
+        for i = 2, N { B[i] = g(A[i]) }
+        """
+    )
+    unit = FusionUnit.from_loop(l1, p.params).fuse_with(
+        FusionUnit.from_loop(l2, p.params), 0
+    )
+    out = unit_to_stmts(unit, FreshNames({"N"}), label="fused42")
+    labels = {s.label for s in out if isinstance(s, Loop)}
+    assert "fused42" in labels

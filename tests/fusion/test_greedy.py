@@ -1,0 +1,202 @@
+"""Reuse-based fusion tests: the Fig. 4/6 behaviours end to end."""
+
+import pytest
+
+from repro.core.fusion import FusionOptions, fuse_program
+from repro.lang import Loop, to_source, validate
+
+from conftest import assert_same_semantics, build
+
+
+def fused_of(program, **kw):
+    fused, report = fuse_program(program, **kw)
+    validate(fused)
+    return fused, report
+
+
+def test_fig4a_fuses_and_preserves_semantics(fig4a_program):
+    fused, report = fused_of(fig4a_program)
+    assert_same_semantics(fig4a_program, fused, sizes=(8, 10, 16, 33))
+    # both loops end up in one unit; boundary statements embedded/peeled
+    assert report.levels[0].units_after < 2 + 1
+    kinds = {e.kind for e in report.levels[0].events}
+    assert "fuse" in kinds and "embed" in kinds
+
+
+def test_fig4b_is_infusible(fig4b_program):
+    fused, report = fused_of(fig4b_program)
+    assert fused.loop_count() == 2  # untouched
+    assert report.levels[0].infusible
+    assert_same_semantics(fig4b_program, fused, sizes=(9, 17))
+
+
+def test_negative_alignment():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 2, N { A[i] = f(A[i - 1]) }
+        for i = 4, N { B[i] = g(A[i - 2]) }
+        """
+    )
+    fused, report = fused_of(p)
+    assert_same_semantics(p, fused)
+    detail = next(e.detail for e in report.levels[0].events if e.kind == "fuse")
+    assert "-2" in detail  # shifted up by two iterations, like the paper
+
+
+def test_positive_alignment_delays_consumer():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 1, N - 2 { A[i] = 1.0 }
+        for i = 1, N - 2 { B[i] = g(A[i + 2]) }
+        """
+    )
+    fused, report = fused_of(p)
+    assert_same_semantics(p, fused)
+    detail = next(e.detail for e in report.levels[0].events if e.kind == "fuse")
+    assert "+2" in detail
+
+
+def test_peeling_boundary_iterations():
+    # the second loop's first iteration reads a cell produced by a
+    # column-boundary loop over the other dimension: peel + fuse
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N {
+          for j = 2, N { A[j, i] = f(A[j - 1, i]) }
+        }
+        for j = 1, N { B[j, 1] = g(A[j, 1]) }
+        for i = 2, N {
+          for j = 1, N { B[j, i] = h(B[j, i - 1], A[j, i]) }
+        }
+        """
+    )
+    fused, report = fused_of(p)
+    assert_same_semantics(p, fused)
+
+
+def test_multilevel_fusion(stencil_2d):
+    fused, report = fused_of(stencil_2d)
+    assert_same_semantics(stencil_2d, fused)
+    assert len(report.levels) >= 2
+    assert report.levels[0].units_after == 1
+    # inner level fused too
+    assert any(e.kind == "fuse" for e in report.levels[1].events)
+
+
+def test_max_levels_one_keeps_inner_loops(stencil_2d):
+    fused, report = fused_of(stencil_2d, max_levels=1)
+    assert_same_semantics(stencil_2d, fused)
+    assert len([l for l in report.levels if l.events]) == 1
+
+
+def test_embedding_disabled():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 3, N { A[i] = f(A[i - 1]) }
+        A[2] = 0.0
+        """
+    )
+    fused, report = fused_of(p, options=FusionOptions(embedding=False))
+    assert_same_semantics(p, fused)
+    assert not any(e.kind == "embed" for e in report.levels[0].events)
+    assert len(fused.body) == 2  # statement left in place
+
+
+def test_alignment_disabled_blocks_shifted_fusion():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 2, N { A[i] = f(A[i - 1]) }
+        for i = 3, N { B[i] = g(A[i - 2]) }
+        """
+    )
+    fused, report = fused_of(p, options=FusionOptions(alignment=False))
+    assert_same_semantics(p, fused)
+    assert fused.loop_count() == 2  # would need alignment -2
+
+
+def test_identical_bounds_restriction():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        for i = 1, N { A[i] = 1.0 }
+        for i = 1, N - 1 { B[i] = g(A[i]) }
+        """
+    )
+    restricted = FusionOptions(
+        embedding=False, alignment=False, splitting=False, identical_bounds=True
+    )
+    fused, _ = fused_of(p, options=restricted)
+    assert fused.loop_count() == 2  # bounds differ -> no fusion
+    # but the full algorithm fuses them
+    fused2, _ = fused_of(p)
+    assert_same_semantics(p, fused2)
+    assert fused2.loop_count() < 2 + 1
+
+
+def test_intervening_nonsharing_statement_is_overtaken():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N], C[N]
+        for i = 1, N { A[i] = 1.0 }
+        C[1] = 5.0
+        for i = 1, N { B[i] = g(A[i]) }
+        """
+    )
+    fused, report = fused_of(p)
+    assert_same_semantics(p, fused)
+    assert any(e.kind == "fuse" for e in report.levels[0].events)
+
+
+def test_scalar_dependence_blocks_fusion():
+    p = build(
+        """
+        program t
+        param N
+        real A[N], B[N]
+        scalar t
+        for i = 1, N { t = f(A[i], t) }
+        for i = 1, N { B[i] = g(t, B[i]) }
+        """
+    )
+    fused, _ = fused_of(p)
+    assert_same_semantics(p, fused)
+    assert fused.loop_count() == 2  # the reduction serializes
+
+
+def test_frame_name_collision_renamed():
+    # the second loop binds "i" inside a nest whose outer index is "k";
+    # fusing with a loop named "i" must alpha-rename
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N {
+          for j = 1, N { A[j, i] = 1.0 }
+        }
+        for k = 1, N {
+          for i = 1, N { B[i, k] = g(A[i, k]) }
+        }
+        """
+    )
+    fused, _ = fused_of(p)
+    assert_same_semantics(p, fused)

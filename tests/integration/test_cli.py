@@ -1,0 +1,84 @@
+"""Command-line front end tests."""
+
+import pytest
+
+from repro.cli import main
+
+KERNEL = """
+program kern
+param N
+real A[N], B[N]
+for i = 2, N { A[i] = f(A[i - 1], B[i]) }
+for i = 1, N - 1 { B[i] = g(A[i + 1]) }
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "kern.loop"
+    path.write_text(KERNEL)
+    return str(path)
+
+
+def test_levels(capsys):
+    assert main(["levels"]) == 0
+    out = capsys.readouterr().out
+    for level in ("noopt", "sgi", "mckinley", "fusion", "new"):
+        assert level in out
+
+
+def test_apps(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    for app in ("swim", "tomcatv", "adi", "sp"):
+        assert app in out
+
+
+def test_fuse_outputs_valid_source(kernel_file, capsys):
+    assert main(["fuse", kernel_file]) == 0
+    out = capsys.readouterr().out
+    from repro.lang import parse, validate
+
+    fused = validate(parse(out))
+    assert fused.loop_count() == 1  # the two loops fused
+
+
+def test_fuse_levels_differ(kernel_file, capsys):
+    main(["fuse", kernel_file, "--level", "noopt"])
+    noopt = capsys.readouterr().out
+    main(["fuse", kernel_file, "--level", "fusion"])
+    fused = capsys.readouterr().out
+    assert noopt != fused
+
+
+def test_regroup_with_params(kernel_file, capsys):
+    assert main(["regroup", kernel_file, "-p", "N=16"]) == 0
+    out = capsys.readouterr().out
+    assert "interleave" in out
+    assert "offset" in out
+
+
+def test_report_on_file(kernel_file, capsys):
+    assert main(["report", kernel_file, "-p", "N=513", "--levels", "noopt,new"]) == 0
+    out = capsys.readouterr().out
+    assert "L1 misses" in out
+    assert "new" in out
+
+
+def test_report_requires_params_for_files(kernel_file):
+    with pytest.raises(SystemExit):
+        main(["report", kernel_file])
+
+
+def test_unknown_level_rejected(kernel_file):
+    with pytest.raises(SystemExit):
+        main(["report", kernel_file, "--levels", "warp9", "-p", "N=64"])
+
+
+def test_missing_file_is_an_error(capsys):
+    assert main(["fuse", "/no/such/file.loop"]) == 2
+
+
+def test_bad_param_syntax(kernel_file):
+    with pytest.raises(SystemExit):
+        main(["regroup", kernel_file, "-p", "N"])

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_regrouping_fig7_example():
+    out = run_example("regrouping_fig7.py")
+    assert "A[1,1] B[1,1]" in out  # the element interleave
+    assert "C[1,1]" in out
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "semantics check" in out
+    assert "optimized" in out
+
+
+@pytest.mark.slow
+def test_custom_kernel_example():
+    out = run_example("custom_kernel.py")
+    assert "semantics preserved" in out

@@ -1,0 +1,40 @@
+"""Deterministic function table tests."""
+
+import math
+
+from repro.interp import DEFAULT_FUNCTIONS, FunctionTable
+
+
+def test_deterministic_across_tables():
+    a = FunctionTable().call("f", [1.0, 2.0])
+    b = FunctionTable().call("f", [1.0, 2.0])
+    assert a == b
+
+
+def test_distinct_by_name():
+    f = DEFAULT_FUNCTIONS.call("f", [1.0, 2.0])
+    g = DEFAULT_FUNCTIONS.call("g", [1.0, 2.0])
+    assert f != g
+
+
+def test_distinct_by_arity():
+    one = DEFAULT_FUNCTIONS.call("f", [1.0])
+    two = DEFAULT_FUNCTIONS.call("f", [1.0, 0.0])
+    assert one != two
+
+
+def test_contraction_keeps_values_bounded():
+    # iterating any generated function must not blow up
+    x = 1.0
+    for _ in range(10_000):
+        x = DEFAULT_FUNCTIONS.call("fwd", [x, 0.3, -0.2])
+    assert abs(x) < 10.0
+
+
+def test_builtins():
+    assert DEFAULT_FUNCTIONS.call("sqrt", [4.0]) == 2.0
+    assert DEFAULT_FUNCTIONS.call("sqrt", [-4.0]) == 2.0  # |x| guard
+    assert DEFAULT_FUNCTIONS.call("abs", [-3.0]) == 3.0
+    assert DEFAULT_FUNCTIONS.call("max", [1.0, 5.0]) == 5.0
+    assert DEFAULT_FUNCTIONS.call("exp", [100.0]) < 1e-10  # bounded on purpose
+    assert math.isclose(DEFAULT_FUNCTIONS.call("sin", [0.0]), 0.0)

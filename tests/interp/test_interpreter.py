@@ -1,0 +1,151 @@
+"""Interpreter unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.interp import Interpreter, run_program
+from repro.lang import ValidationError, parse, validate
+
+from conftest import build
+
+
+def test_simple_loop_effect():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N { A[i] = 2.0 }
+        """
+    )
+    out = run_program(p, {"N": 5})
+    assert np.all(out["A"] == 2.0)
+
+
+def test_recurrence_order():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 2, N { A[i] = A[i - 1] + 1.0 }
+        """
+    )
+    out = run_program(p, {"N": 6})
+    base = out["A"][0]
+    assert np.allclose(out["A"], base + np.arange(6))
+
+
+def test_guard_branches():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [1, N] { A[i] = 0.0 } else { A[i] = 1.0 }
+        }
+        """
+    )
+    out = run_program(p, {"N": 8})
+    assert out["A"][0] == 0.0 and out["A"][-1] == 0.0
+    assert np.all(out["A"][1:-1] == 1.0)
+
+
+def test_procedure_call():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        proc setk(k) { A[k] = 9.0 }
+        call setk(2)
+        call setk(N)
+        """
+    )
+    out = run_program(p, {"N": 8})
+    assert out["A"][1] == 9.0 and out["A"][7] == 9.0
+
+
+def test_determinism_across_runs():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 2, N { A[i] = f(A[i - 1]) }
+        """
+    )
+    a = run_program(p, {"N": 12})
+    b = run_program(p, {"N": 12})
+    assert np.array_equal(a["A"], b["A"])
+
+
+def test_seed_changes_initial_state():
+    p = build("program t\nparam N\nreal A[N]\nA[1] = A[2]")
+    a = run_program(p, {"N": 8}, seed=1)
+    b = run_program(p, {"N": 8}, seed=2)
+    assert not np.array_equal(a["A"], b["A"])
+
+
+def test_steps_repeat_body():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N { A[i] = A[i] + 1.0 }
+        """
+    )
+    one = run_program(p, {"N": 4}, steps=1)
+    three = run_program(p, {"N": 4}, steps=3)
+    assert np.allclose(three["A"] - one["A"], 2.0)
+
+
+def test_out_of_bounds_raises():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N { A[i] = A[i] }
+        """
+    )
+    bad = parse(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N { A[i] = A[i + 1] }
+        """
+    )
+    run_program(p, {"N": 5})
+    with pytest.raises(ValidationError, match="outside"):
+        run_program(bad, {"N": 5})
+
+
+def test_unbound_parameter_rejected():
+    p = build("program t\nparam N\nreal A[N]\nA[1] = 0.0")
+    with pytest.raises(ValidationError, match="unbound"):
+        run_program(p, {})
+
+
+def test_nonpositive_parameter_rejected():
+    p = build("program t\nparam N\nreal A[N]\nA[1] = 0.0")
+    with pytest.raises(ValidationError, match="positive"):
+        run_program(p, {"N": 0})
+
+
+def test_scalars():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        scalar t
+        t = 3.0
+        for i = 1, N { A[i] = t }
+        """
+    )
+    out = run_program(p, {"N": 4})
+    assert np.all(out["A"] == 3.0)

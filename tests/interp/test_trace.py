@@ -1,0 +1,64 @@
+"""AccessTrace container tests."""
+
+import numpy as np
+
+from repro.interp import TraceBuilder
+from repro.interp.trace import RefInfo
+
+
+def make_trace():
+    builder = TraceBuilder(
+        ["A", "B"], [10, 20], [RefInfo(0, 0, "A", False, "A[i]")], with_instr=True
+    )
+    builder.append(
+        np.array([0, 1, 0]),
+        np.array([3, 5, 3]),
+        np.array([False, True, True]),
+        np.array([0, 0, 0]),
+        np.array([0, 0, 1]),
+    )
+    builder.append(
+        np.array([1]),
+        np.array([19]),
+        np.array([False]),
+        np.array([0]),
+        np.array([2]),
+    )
+    return builder.build()
+
+
+def test_builder_concatenates():
+    t = make_trace()
+    assert len(t) == 4
+    assert t.array_names == ("A", "B")
+    assert list(t.elems) == [3, 5, 3, 19]
+
+
+def test_global_keys_offsets_by_array_size():
+    t = make_trace()
+    keys = t.global_keys()
+    # A occupies [0, 10), B occupies [10, 30)
+    assert list(keys) == [3, 15, 3, 29]
+
+
+def test_reordered_permutes_all_columns():
+    t = make_trace()
+    order = np.array([3, 2, 1, 0])
+    r = t.reordered(order)
+    assert list(r.elems) == [19, 3, 5, 3]
+    assert list(r.instr_ids) == [2, 1, 0, 0]
+    assert list(r.array_ids) == [1, 0, 1, 0]
+
+
+def test_slice():
+    t = make_trace()
+    s = t.slice(1, 3)
+    assert len(s) == 2
+    assert list(s.elems) == [5, 3]
+
+
+def test_iter_accesses():
+    t = make_trace()
+    rows = list(t.iter_accesses())
+    assert rows[0] == ("A", 3, False)
+    assert rows[3] == ("B", 19, False)

@@ -1,0 +1,121 @@
+"""Unit tests for affine forms and symbolic comparison."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang import Affine, Assumptions, NotAffineError
+
+
+class TestConstruction:
+    def test_constant(self):
+        a = Affine.constant(5)
+        assert a.is_constant()
+        assert a.int_value() == 5
+
+    def test_var(self):
+        v = Affine.var("N")
+        assert v.coeff("N") == 1
+        assert not v.is_constant()
+
+    def test_var_zero_coeff_is_constant(self):
+        assert Affine.var("N", 0) == Affine.constant(0)
+
+    def test_from_terms_drops_zeros(self):
+        a = Affine.from_terms(1, {"N": 0, "i": 2})
+        assert a.variables() == {"i"}
+
+    def test_float_coefficient_must_be_integral(self):
+        with pytest.raises(NotAffineError):
+            Affine.constant(0.5).__add__(Affine.var("N", 0.25))
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        n, i = Affine.var("N"), Affine.var("i")
+        expr = n + i - 1
+        assert expr.coeff("N") == 1
+        assert expr.coeff("i") == 1
+        assert expr.const == -1
+
+    def test_cancellation(self):
+        n = Affine.var("N")
+        assert (n - n).is_constant()
+        assert (n - n).int_value() == 0
+
+    def test_scalar_multiplication(self):
+        i = Affine.var("i")
+        assert (i * 3).coeff("i") == 3
+        assert (3 * i).coeff("i") == 3
+        assert (i * 0) == Affine.constant(0)
+
+    def test_negation(self):
+        i = Affine.var("i")
+        assert (-i).coeff("i") == -1
+
+    def test_substitute(self):
+        i, f = Affine.var("i"), Affine.var("f")
+        expr = i + 2
+        out = expr.substitute({"i": f - 1})
+        assert out == f + 1
+
+    def test_evaluate(self):
+        expr = Affine.var("N") * 2 + 1
+        assert expr.evaluate({"N": 10}) == 21
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(NotAffineError):
+            Affine.var("N").evaluate({})
+
+
+class TestComparison:
+    def test_constant_signs(self):
+        assert Affine.constant(3).sign() == 1
+        assert Affine.constant(-3).sign() == -1
+        assert Affine.constant(0).sign() == 0
+
+    def test_param_large_positive(self):
+        n = Affine.var("N")
+        assert (n - 2).sign() == 1  # N >= 8 by default
+        assert (2 - n).sign() == -1
+
+    def test_indeterminate(self):
+        n = Affine.var("N")
+        assert (n - 100).sign() is None  # could be either side of 0
+        m = Affine.var("M")
+        assert (n - m).sign() is None  # mixed signs
+
+    def test_compare(self):
+        n = Affine.var("N")
+        assert (n - 1).compare(n) == -1
+        assert n.compare(n) == 0
+        assert (n + 1).compare(n) == 1
+
+    def test_assumptions_per_var(self):
+        i = Affine.var("i")
+        low = Assumptions(default=8).with_var("i", 1)
+        assert (i - 2).sign(low) is None  # i could be 1
+        assert i.sign(low) == 1
+        unbounded = Assumptions(default=8).with_var("i", None)
+        assert i.sign(unbounded) is None
+
+    def test_lower_bound(self):
+        n = Affine.var("N")
+        assert (n + 1).lower_bound() == 9
+        assert (n * 2).lower_bound(Assumptions(default=3)) == 6
+        assert (-n).lower_bound() is None  # no upper bounds tracked
+
+    def test_assumptions_of(self):
+        a = Assumptions.of(5)
+        assert a.min_of("anything") == 5
+        assert Assumptions.of(a) is a
+
+
+class TestDisplay:
+    def test_str(self):
+        expr = Affine.var("N") - 1
+        assert str(expr) == "N - 1"
+
+    def test_fraction(self):
+        half = Affine.constant(Fraction(1, 2))
+        assert "1/2" in str(half)

@@ -1,0 +1,72 @@
+"""Builder API tests."""
+
+import pytest
+
+from repro.lang import (
+    Affine,
+    IndexVar,
+    Param,
+    ProgramBuilder,
+    ValidationError,
+    affine_expr,
+    assign,
+    call,
+    idx,
+    loop,
+    param,
+    validate,
+    when,
+)
+
+
+def test_builder_constructs_valid_program():
+    b = ProgramBuilder("demo", params=["N"])
+    A = b.array("A", param("N"), param("N"))
+    i, j = idx("i"), idx("j")
+    b.add(
+        loop(
+            "i", 1, param("N"),
+            loop("j", 2, param("N"), assign(A[j, i], call("f", A[j - 1, i]))),
+        )
+    )
+    p = b.build()
+    validate(p)
+    assert p.loop_count() == 2
+    assert p.array_names() == ("A",)
+
+
+def test_array_handle_arity_checked():
+    b = ProgramBuilder("demo", params=["N"])
+    A = b.array("A", param("N"))
+    with pytest.raises(ValidationError):
+        A[1, 2]
+
+
+def test_when_builder():
+    b = ProgramBuilder("demo", params=["N"])
+    A = b.array("A", param("N"))
+    g = when("i", [1, (3, param("N"))], assign(A[idx("i")], 0.0))
+    b.add(loop("i", 1, param("N"), g))
+    validate(b.build())
+
+
+def test_affine_expr_distinguishes_params():
+    form = Affine.var("N") + Affine.var("i") * 2 - 1
+    expr = affine_expr(form, frozenset({"N"}))
+    kinds = {type(node).__name__ for node in expr.walk()}
+    assert "Param" in kinds
+    assert "IndexVar" in kinds
+    # round trip through affine
+    assert expr.affine() == form
+
+
+def test_affine_expr_constant_only():
+    expr = affine_expr(Affine.constant(-3))
+    assert expr.affine().int_value() == -3
+
+
+def test_operator_overloading():
+    i = idx("i")
+    expr = (2 * i + 1) / 1 - 0
+    # simplification is not automatic, but affine extraction normalizes
+    assert expr.affine() == Affine.var("i") * 2 + 1

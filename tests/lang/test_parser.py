@@ -1,0 +1,159 @@
+"""Parser unit tests, including failure injection."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Guard,
+    Loop,
+    ParseError,
+    parse,
+    tokenize,
+)
+
+
+def test_tokenize_positions():
+    tokens = tokenize("program x\nfor i")
+    assert tokens[0].line == 1
+    assert tokens[2].line == 2
+
+
+def test_minimal_program():
+    p = parse("program empty")
+    assert p.name == "empty"
+    assert p.body == ()
+
+
+def test_declarations():
+    p = parse(
+        """
+        program decls
+        param N, M
+        real A[N, M], B[N]
+        scalar t, u
+        """
+    )
+    assert p.params == ("N", "M")
+    assert p.array("A").ndim == 2
+    assert p.array("B").ndim == 1
+    assert p.scalars == ("t", "u")
+
+
+def test_loop_and_assignment():
+    p = parse(
+        """
+        program loops
+        param N
+        real A[N]
+        for i = 1, N { A[i] = 2.0 * A[i] + 1 }
+        """
+    )
+    loop = p.body[0]
+    assert isinstance(loop, Loop)
+    assert loop.index == "i"
+    stmt = loop.body[0]
+    assert isinstance(stmt, Assign)
+    assert isinstance(stmt.target, ArrayRef)
+
+
+def test_guard_with_else():
+    p = parse(
+        """
+        program guards
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [1, 3:N - 1] { A[i] = 0.0 } else { A[i] = 1.0 }
+        }
+        """
+    )
+    guard = p.body[0].body[0]
+    assert isinstance(guard, Guard)
+    assert len(guard.intervals) == 2
+    assert guard.else_body
+
+
+def test_procedures_and_calls():
+    p = parse(
+        """
+        program procs
+        param N
+        real A[N]
+        proc init(k) { A[k] = 0.0 }
+        call init(1)
+        call init(N)
+        """
+    )
+    assert len(p.procedures) == 1
+    assert p.procedures[0].formals == ("k",)
+    assert len(p.body) == 2
+
+
+def test_function_calls_parse():
+    p = parse(
+        """
+        program calls
+        param N
+        real A[N]
+        for i = 2, N { A[i] = f(A[i - 1], 0.5) }
+        """
+    )
+    expr = p.body[0].body[0].expr
+    assert isinstance(expr, Call)
+    assert len(expr.args) == 2
+
+
+def test_negative_and_precedence():
+    p = parse(
+        """
+        program prec
+        scalar t
+        t = 1 + 2 * 3
+        """
+    )
+    # affine canonicalization confirms precedence: 1 + (2*3) = 7
+    assert p.body[0].expr.affine().int_value() == 7
+
+
+def test_comments_ignored():
+    p = parse("program c # trailing\n# whole line\nscalar t\nt = 1.0")
+    assert len(p.body) == 1
+
+
+class TestErrors:
+    def test_undeclared_identifier(self):
+        with pytest.raises(ParseError, match="undeclared identifier"):
+            parse("program e\nscalar t\nt = bogus")
+
+    def test_undeclared_array(self):
+        with pytest.raises(ParseError, match="undeclared array"):
+            parse("program e\nscalar t\nt = A[1]")
+
+    def test_wrong_arity(self):
+        with pytest.raises(ParseError, match="dims"):
+            parse("program e\nparam N\nreal A[N, N]\nA[1] = 0.0")
+
+    def test_guard_outside_loop(self):
+        with pytest.raises(ParseError, match="not a loop index"):
+            parse(
+                "program e\nparam N\nreal A[N]\nwhen i in [1] { A[1] = 0.0 }"
+            )
+
+    def test_missing_brace(self):
+        with pytest.raises(ParseError):
+            parse("program e\nparam N\nreal A[N]\nfor i = 1, N { A[i] = 0.0")
+
+    def test_malformed_number(self):
+        with pytest.raises(ParseError, match="malformed number"):
+            parse("program e\nscalar t\nt = 1.2.3")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            parse("program e\nscalar t\nt = 1 ? 2")
+
+    def test_assignment_to_undeclared_scalar(self):
+        with pytest.raises(ParseError, match="undeclared scalar"):
+            parse("program e\nt = 1.0")

@@ -1,0 +1,101 @@
+"""Statement-level AST utilities."""
+
+import pytest
+
+from repro.lang import (
+    Affine,
+    Assign,
+    Const,
+    Guard,
+    Interval,
+    Loop,
+    ValidationError,
+    loop_nest_depth,
+    loops_in,
+    map_body,
+    parse,
+)
+
+from conftest import build
+
+
+def test_interval_point():
+    iv = Interval.point(Affine.constant(3))
+    assert iv.lower == iv.upper
+    assert str(iv) == "3"
+
+
+def test_interval_range_str():
+    iv = Interval(Affine.constant(2), Affine.var("N"))
+    assert str(iv) == "2:N"
+
+
+def test_guard_requires_intervals():
+    from repro.lang import ArrayRef
+
+    stmt = Assign(ArrayRef("A", (Const(1),)), Const(0.0))
+    with pytest.raises(ValidationError):
+        Guard("i", (), (stmt,))
+
+
+def test_loop_nest_depth():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N, N]
+        for i = 1, N {
+          A[1, 1, i] = 0.0
+          for j = 1, N {
+            for k = 1, N { A[k, j, i] = 1.0 }
+          }
+        }
+        """
+    )
+    assert loop_nest_depth(p.body[0]) == 3
+
+
+def test_loops_in_recurses_guards():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N]
+        for i = 1, N {
+          when i in [2:N - 1] {
+            for j = 1, N { A[j, i] = 0.0 }
+          }
+        }
+        """
+    )
+    assert len(loops_in(p.body)) == 2
+
+
+def test_map_body_drop_and_expand():
+    p = build(
+        """
+        program t
+        param N
+        real A[N]
+        A[1] = 0.0
+        A[2] = 0.0
+        """
+    )
+    s1, s2 = p.body
+    out = map_body([s1, s2], lambda s: None if s is s1 else [s, s])
+    assert out == (s2, s2)
+
+
+def test_loop_with_body_replaces():
+    p = build("program t\nparam N\nreal A[N]\nfor i = 1, N { A[i] = 0.0 }")
+    loop = p.body[0]
+    new = loop.with_body(loop.body + loop.body)
+    assert len(new.body) == 2
+    assert new.index == loop.index
+
+
+def test_label_does_not_affect_equality():
+    a = parse("program t\nparam N\nreal A[N]\nfor i = 1, N { A[i] = 0.0 }").body[0]
+    from dataclasses import replace
+
+    assert replace(a, label="x") == a

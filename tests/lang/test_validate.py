@@ -1,0 +1,110 @@
+"""Structural validation tests (failure injection)."""
+
+import pytest
+
+from repro.lang import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Const,
+    IndexVar,
+    Loop,
+    Param,
+    Program,
+    ScalarRef,
+    ValidationError,
+    parse,
+    validate,
+)
+
+
+def _prog(body, arrays=(("A", 1),), params=("N",), scalars=()):
+    decls = tuple(
+        ArrayDecl(name, tuple(Param("N") for _ in range(nd))) for name, nd in arrays
+    )
+    return Program("t", tuple(params), decls, tuple(body), scalars=tuple(scalars))
+
+
+def a_ref(*idx):
+    return ArrayRef("A", tuple(idx))
+
+
+def test_valid_program_passes():
+    p = _prog([Loop("i", Const(1), Param("N"), (Assign(a_ref(IndexVar("i")), Const(0.0)),))])
+    validate(p)
+
+
+def test_index_out_of_scope():
+    p = _prog([Assign(a_ref(IndexVar("i")), Const(0.0))])
+    with pytest.raises(ValidationError, match="out of scope"):
+        validate(p)
+
+
+def test_shadowing_parameter():
+    p = _prog([Loop("N", Const(1), Const(5), (Assign(a_ref(Const(1)), Const(0.0)),))])
+    with pytest.raises(ValidationError, match="shadows a parameter"):
+        validate(p)
+
+
+def test_shadowing_outer_loop():
+    inner = Loop("i", Const(1), Const(3), (Assign(a_ref(IndexVar("i")), Const(0.0)),))
+    p = _prog([Loop("i", Const(1), Const(3), (inner,))])
+    with pytest.raises(ValidationError, match="shadows an outer loop"):
+        validate(p)
+
+
+def test_wrong_subscript_count():
+    p = _prog([Assign(ArrayRef("A", (Const(1), Const(2))), Const(0.0))])
+    with pytest.raises(ValidationError, match="dims"):
+        validate(p)
+
+
+def test_undeclared_array():
+    p = _prog([Assign(ArrayRef("Z", (Const(1),)), Const(0.0))])
+    with pytest.raises(ValidationError, match="undeclared array"):
+        validate(p)
+
+
+def test_undeclared_scalar():
+    p = _prog([Assign(ScalarRef("t"), Const(0.0))])
+    with pytest.raises(ValidationError, match="undeclared scalar"):
+        validate(p)
+
+
+def test_duplicate_array_declaration():
+    decls = (ArrayDecl("A", (Param("N"),)), ArrayDecl("A", (Param("N"),)))
+    with pytest.raises(ValidationError, match="duplicate"):
+        Program("t", ("N",), decls, ())
+
+
+def test_call_arity_checked():
+    p = parse(
+        """
+        program t
+        param N
+        real A[N]
+        proc fill(k) { A[k] = 0.0 }
+        call fill(1)
+        """
+    )
+    validate(p)
+    from repro.lang import CallStmt
+
+    bad = p.with_body((CallStmt("fill", (Const(1), Const(2))),))
+    with pytest.raises(ValidationError, match="takes 1 args"):
+        validate(bad)
+
+
+def test_nonaffine_subscript_rejected():
+    src = """
+    program t
+    param N
+    real A[N]
+    for i = 1, N { A[i] = A[i] }
+    """
+    p = validate(parse(src))
+    # build a non-affine subscript: A[i*i]
+    i = IndexVar("i")
+    bad_body = (Loop("i", Const(1), Param("N"), (Assign(a_ref(i * i), Const(0.0)),)),)
+    with pytest.raises(ValidationError, match="not affine"):
+        validate(p.with_body(bad_body))

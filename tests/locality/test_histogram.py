@@ -1,0 +1,63 @@
+"""Log2 reuse-distance histogram tests."""
+
+import numpy as np
+
+from repro.locality import COLD, ReuseHistogram, reuse_distances
+
+
+def test_binning():
+    d = np.array([COLD, 0, 1, 2, 3, 4, 7, 8, 1023, 1024])
+    h = ReuseHistogram.from_distances(d)
+    assert h.cold == 1
+    assert h.counts[0] == 1  # distance 0
+    assert h.counts[1] == 1  # distance 1
+    assert h.counts[2] == 2  # distances 2..3
+    assert h.counts[3] == 2  # distances 4..7
+    assert h.counts[4] == 1  # 8..15
+    assert h.counts[10] == 1  # 512..1023
+    assert h.counts[11] == 1  # 1024..2047
+    assert h.total_reuses == 9
+    assert h.total == 10
+
+
+def test_count_ge():
+    d = np.array([0, 1, 4, 16, 64])
+    h = ReuseHistogram.from_distances(d)
+    assert h.count_ge(0) == 5
+    assert h.count_ge(4) == 3
+    assert h.count_ge(64) == 1
+    assert h.fraction_ge(4) == 3 / 5
+
+
+def test_mean_log_distance_tracks_hills():
+    near = ReuseHistogram.from_distances(np.array([1, 1, 2, 2]))
+    far = ReuseHistogram.from_distances(np.array([1024, 2048]))
+    assert far.mean_log_distance() > near.mean_log_distance()
+
+
+def test_add():
+    a = ReuseHistogram.from_distances(np.array([0, 1]))
+    b = ReuseHistogram.from_distances(np.array([COLD, 1024]))
+    c = a + b
+    assert c.cold == 1
+    assert c.total_reuses == 3
+
+
+def test_format_ascii_smoke():
+    keys = list(range(8)) * 2
+    h = ReuseHistogram.from_distances(reuse_distances(keys))
+    text = h.format_ascii(width=20, label="demo")
+    assert "demo" in text
+    assert "cold: 8" in text
+
+
+def test_series():
+    h = ReuseHistogram.from_distances(np.array([0, 2]))
+    assert h.series() == [(0, 1), (1, 0), (2, 1)]
+
+
+def test_empty():
+    h = ReuseHistogram.from_distances(np.array([], dtype=np.int64))
+    assert h.total == 0
+    assert h.fraction_ge(1) == 0.0
+    assert h.mean_log_distance() == 0.0

@@ -1,0 +1,78 @@
+"""Reuse-distance tests, including the paper's Fig. 1 example."""
+
+import numpy as np
+import pytest
+
+from repro.locality import (
+    COLD,
+    hit_ratio,
+    miss_count,
+    reuse_distances,
+    reuse_distances_naive,
+)
+
+
+def test_fig1_example():
+    # "a b c a a c b": distinct-items-between definition
+    keys = [0, 1, 2, 0, 0, 2, 1]
+    d = reuse_distances(keys)
+    assert list(d) == [COLD, COLD, COLD, 2, 0, 1, 2]
+
+
+def test_fused_sequence_all_zero():
+    # Fig. 1(b): "a a b b c c" after fusion — every reuse distance 0
+    keys = [0, 0, 1, 1, 2, 2]
+    d = reuse_distances(keys)
+    assert list(d) == [COLD, 0, COLD, 0, COLD, 0]
+
+
+def test_empty_and_single():
+    assert len(reuse_distances([])) == 0
+    assert list(reuse_distances([7])) == [COLD]
+
+
+def test_repeated_same_key():
+    d = reuse_distances([5] * 6)
+    assert list(d) == [COLD, 0, 0, 0, 0, 0]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("universe", [3, 20, 200])
+def test_agrees_with_naive_oracle(seed, universe):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, universe, size=400).tolist()
+    assert list(reuse_distances(keys)) == reuse_distances_naive(keys)
+
+
+def test_cyclic_scan_distance_equals_working_set():
+    keys = list(range(10)) * 3
+    d = reuse_distances(keys)
+    # after the cold pass, every reuse sees 9 distinct items in between
+    assert all(x == 9 for x in d[10:])
+
+
+def test_miss_count_and_hit_ratio():
+    keys = list(range(10)) * 3
+    d = reuse_distances(keys)
+    # capacity 10 holds the whole working set: only cold misses
+    assert miss_count(d, 10) == 10
+    assert miss_count(d, 10, count_cold=False) == 0
+    # capacity 9 thrashes completely
+    assert miss_count(d, 9) == 30
+    assert hit_ratio(d, 10) == pytest.approx(20 / 30)
+
+
+def test_miss_ratio_curve_matches_direct_counting():
+    import numpy as np
+
+    from repro.locality import miss_ratio_curve
+
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 64, 4000)
+    d = reuse_distances(keys)
+    curve = miss_ratio_curve(d, [1, 4, 16, 64, 256])
+    for capacity, ratio in curve.items():
+        assert ratio == pytest.approx(miss_count(d, capacity) / len(d))
+    # monotone non-increasing in capacity
+    values = [curve[c] for c in sorted(curve)]
+    assert all(a >= b for a, b in zip(values, values[1:]))

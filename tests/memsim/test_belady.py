@@ -1,0 +1,58 @@
+"""Belady-optimal replacement tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import simulate_belady
+from repro.memsim import CacheConfig, simulate_cache
+
+
+def belady_oracle(lines, capacity):
+    """Brute-force OPT: evict the resident line used furthest in future."""
+    n = len(lines)
+    resident = []
+    miss = []
+    for t, line in enumerate(lines):
+        if line in resident:
+            miss.append(False)
+            continue
+        miss.append(True)
+        if len(resident) >= capacity:
+            # furthest next use
+            def next_use(x):
+                for u in range(t + 1, n):
+                    if lines[u] == x:
+                        return u
+                return n + 1
+
+            victim = max(resident, key=next_use)
+            resident.remove(victim)
+        resident.append(line)
+    return np.array(miss)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("universe", [8, 20])
+def test_against_oracle(seed, universe):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, universe, size=400)
+    cfg = CacheConfig("t", 8 * 32, 32, 0)
+    got = simulate_belady(cfg, lines * 32)
+    expected = belady_oracle(lines.tolist(), 8)
+    assert got.sum() == expected.sum()  # OPT miss count is unique
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_never_worse_than_lru(seed):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, 50, size=3000)
+    cfg = CacheConfig("t", 16 * 32, 32, 0)
+    opt = simulate_belady(cfg, lines * 32).sum()
+    lru = simulate_cache(cfg, lines * 32).sum()
+    assert opt <= lru
+
+
+def test_cold_misses_unavoidable():
+    lines = np.arange(100)
+    cfg = CacheConfig("t", 8 * 32, 32, 0)
+    assert simulate_belady(cfg, lines * 32).sum() == 100

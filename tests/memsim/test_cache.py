@@ -1,0 +1,95 @@
+"""Cache simulator tests, including a brute-force LRU oracle."""
+
+import numpy as np
+import pytest
+
+from repro.lang import SimulationError
+from repro.memsim import CacheConfig, simulate_cache
+
+
+def lru_oracle(lines, num_sets, assoc):
+    """Straightforward per-set LRU lists."""
+    sets = [[] for _ in range(num_sets)]
+    miss = []
+    for line in lines:
+        s = line % num_sets
+        ways = sets[s]
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            miss.append(False)
+        else:
+            miss.append(True)
+            ways.insert(0, line)
+            if len(ways) > assoc:
+                ways.pop()
+    return np.array(miss)
+
+
+@pytest.mark.parametrize("assoc", [1, 2, 4, 0])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_against_oracle(assoc, seed):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, 64, size=2000)
+    cfg = CacheConfig("t", 16 * 32, 32, assoc)
+    got = simulate_cache(cfg, lines * 32)
+    ways = cfg.num_lines if assoc == 0 else assoc
+    expected = lru_oracle(lines.tolist(), cfg.num_sets, ways)
+    assert np.array_equal(got, expected)
+
+
+def test_sequential_scan_miss_per_line():
+    cfg = CacheConfig("t", 1024, 32, 2)
+    addrs = np.arange(0, 4096, 8)
+    assert simulate_cache(cfg, addrs).sum() == 4096 // 32
+
+
+def test_working_set_fits():
+    cfg = CacheConfig("t", 1024, 32, 2)
+    addrs = np.concatenate([np.arange(0, 512, 8)] * 4)
+    # only the first pass misses
+    assert simulate_cache(cfg, addrs).sum() == 512 // 32
+
+
+def test_conflict_thrash_direct_mapped():
+    cfg = CacheConfig("t", 1024, 32, 1)
+    # two addresses mapping to the same set, alternating
+    a, b = 0, 1024
+    addrs = np.array([a, b] * 50)
+    assert simulate_cache(cfg, addrs).sum() == 100
+    # 2-way absorbs it
+    cfg2 = CacheConfig("t", 1024, 32, 2)
+    assert simulate_cache(cfg2, addrs).sum() == 2
+
+
+def test_fully_associative_equals_reuse_distance_criterion():
+    from repro.locality import COLD, reuse_distances
+
+    rng = np.random.default_rng(7)
+    lines = rng.integers(0, 40, size=1500)
+    cfg = CacheConfig("t", 16 * 32, 32, 0)
+    miss = simulate_cache(cfg, lines * 32)
+    rd = reuse_distances(lines)
+    assert np.array_equal(miss, (rd == COLD) | (rd >= 16))
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = CacheConfig("L1", 32 * 1024, 32, 2)
+        assert cfg.num_lines == 1024
+        assert cfg.num_sets == 512
+        assert cfg.ways == 2
+
+    def test_invalid_size(self):
+        with pytest.raises(SimulationError):
+            CacheConfig("x", 100, 32, 2)
+
+    def test_assoc_exceeds_lines(self):
+        with pytest.raises(SimulationError):
+            CacheConfig("x", 64, 32, 4)
+
+    def test_scaled_preserves_line_and_assoc(self):
+        cfg = CacheConfig("L2", 4 * 1024 * 1024, 128, 2).scaled(1 / 64)
+        assert cfg.line_bytes == 128
+        assert cfg.assoc == 2
+        assert cfg.size_bytes == 64 * 1024

@@ -1,0 +1,76 @@
+"""Write-back accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import CacheConfig, simulate_cache_writeback
+
+
+def wb_oracle(lines, writes, num_sets, assoc):
+    """Reference per-set LRU with dirty bits."""
+    sets = [[] for _ in range(num_sets)]  # list of [line, dirty], MRU first
+    writebacks = 0
+    miss = []
+    for line, w in zip(lines, writes):
+        s = line % num_sets
+        ways = sets[s]
+        found = None
+        for entry in ways:
+            if entry[0] == line:
+                found = entry
+                break
+        if found:
+            ways.remove(found)
+            found[1] = found[1] or w
+            ways.insert(0, found)
+            miss.append(False)
+        else:
+            miss.append(True)
+            ways.insert(0, [line, w])
+            if len(ways) > assoc:
+                victim = ways.pop()
+                writebacks += victim[1]
+    writebacks += sum(e[1] for ways in sets for e in ways)
+    return np.array(miss), writebacks
+
+
+@pytest.mark.parametrize("assoc", [1, 2, 4, 0])
+@pytest.mark.parametrize("seed", [0, 3])
+def test_against_oracle(assoc, seed):
+    rng = np.random.default_rng(seed)
+    lines = rng.integers(0, 48, size=1500)
+    writes = rng.random(1500) < 0.3
+    cfg = CacheConfig("t", 16 * 32, 32, assoc)
+    got = simulate_cache_writeback(cfg, lines * 32, writes)
+    ways = cfg.num_lines if assoc == 0 else assoc
+    miss, wb = wb_oracle(lines.tolist(), writes.tolist(), cfg.num_sets, ways)
+    assert np.array_equal(got.miss, miss)
+    assert got.writebacks == wb
+
+
+def test_read_only_never_writes_back():
+    cfg = CacheConfig("t", 1024, 32, 2)
+    addrs = np.arange(0, 8192, 8)
+    res = simulate_cache_writeback(cfg, addrs, np.zeros(len(addrs), dtype=bool))
+    assert res.writebacks == 0
+
+
+def test_write_stream_writes_everything_back():
+    cfg = CacheConfig("t", 1024, 32, 2)
+    addrs = np.arange(0, 8192, 8)
+    res = simulate_cache_writeback(cfg, addrs, np.ones(len(addrs), dtype=bool))
+    assert res.writebacks == 8192 // 32  # every line dirtied once
+
+
+def test_rewritten_line_counts_once():
+    cfg = CacheConfig("t", 1024, 32, 0)
+    addrs = np.array([0, 0, 0, 8, 16])
+    res = simulate_cache_writeback(cfg, addrs, np.array([True, True, True, True, False]))
+    assert res.writebacks == 1  # one dirty line, flushed at the end
+
+
+def test_none_writes_means_loads():
+    cfg = CacheConfig("t", 1024, 32, 2)
+    res = simulate_cache_writeback(cfg, np.arange(0, 2048, 32), None)
+    assert res.writebacks == 0
+    assert res.misses == 64

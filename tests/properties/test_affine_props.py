@@ -1,0 +1,83 @@
+"""Property-based tests for affine forms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import Affine
+
+names = st.sampled_from(["N", "M", "i", "j", "k"])
+
+
+@st.composite
+def affines(draw):
+    const = draw(st.integers(-50, 50))
+    nterms = draw(st.integers(0, 3))
+    terms = {}
+    for _ in range(nterms):
+        terms[draw(names)] = draw(st.integers(-5, 5))
+    return Affine.from_terms(const, terms)
+
+
+envs = st.fixed_dictionaries(
+    {n: st.integers(1, 100) for n in ["N", "M", "i", "j", "k"]}
+)
+
+
+@given(affines(), affines(), envs)
+def test_addition_matches_evaluation(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+@given(affines(), affines(), envs)
+def test_subtraction_matches_evaluation(a, b, env):
+    assert (a - b).evaluate(env) == a.evaluate(env) - b.evaluate(env)
+
+
+@given(affines(), st.integers(-7, 7), envs)
+def test_scaling_matches_evaluation(a, c, env):
+    assert (a * c).evaluate(env) == c * a.evaluate(env)
+
+
+@given(affines(), affines(), envs)
+def test_substitution_matches_evaluation(a, b, env):
+    substituted = a.substitute({"i": b})
+    env2 = dict(env)
+    env2["i"] = int(b.evaluate(env))
+    assert substituted.evaluate(env) == a.evaluate(env2)
+
+
+@given(affines(), affines())
+@settings(max_examples=200)
+def test_compare_is_sound(a, b):
+    """Whenever compare decides, every assignment >= the default minimum
+    must agree with the decision."""
+    verdict = a.compare(b, 8)
+    if verdict is None:
+        return
+    # sample a few corners of the assignment space
+    for point in (8, 9, 17, 100):
+        env = {n: point for n in ("N", "M", "i", "j", "k")}
+        diff = a.evaluate(env) - b.evaluate(env)
+        if verdict == 0:
+            assert diff == 0
+        elif verdict == 1:
+            assert diff > 0
+        else:
+            assert diff < 0
+
+
+@given(affines())
+def test_lower_bound_is_sound(a):
+    lb = a.lower_bound(8)
+    if lb is None:
+        return
+    for point in (8, 13, 64):
+        env = {n: point for n in ("N", "M", "i", "j", "k")}
+        assert a.evaluate(env) >= lb
+
+
+@given(affines())
+def test_round_trip_through_expr(a):
+    from repro.lang import affine_expr
+
+    assert affine_expr(a, frozenset({"N", "M"})).affine() == a

@@ -1,0 +1,89 @@
+"""Property-based tests: fusion preserves semantics on random programs.
+
+Random flat programs over a fixed array set — sequences of 1-D loops with
+stencil bodies and boundary statements — are pushed through the full
+fusion pipeline and must produce bit-identical results.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fusion import fuse_program
+from repro.interp import run_program
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    IndexVar,
+    Loop,
+    Param,
+    Program,
+    ArrayDecl,
+    validate,
+)
+
+ARRAYS = ["A", "B", "C"]
+
+
+@st.composite
+def loop_stmt(draw):
+    target = draw(st.sampled_from(ARRAYS))
+    # offsets chosen so subscripts stay within [1, N] for lo >= 3
+    toff = draw(st.integers(-1, 1))
+    i = IndexVar("i")
+    reads = []
+    for _ in range(draw(st.integers(1, 2))):
+        arr = draw(st.sampled_from(ARRAYS))
+        off = draw(st.integers(-2, 1))
+        reads.append(ArrayRef(arr, (i + off,)))
+    body = Assign(ArrayRef(target, (i + toff,)), Call("f", tuple(reads)))
+    lo = draw(st.integers(3, 4))
+    hi_off = draw(st.integers(2, 3))
+    return Loop("i", Const(lo), Param("N") - hi_off, (body,))
+
+
+@st.composite
+def boundary_stmt(draw):
+    target = draw(st.sampled_from(ARRAYS))
+    tidx = draw(st.sampled_from([Const(1), Const(2), Param("N")]))
+    src = draw(st.sampled_from(ARRAYS))
+    sidx = draw(st.sampled_from([Const(1), Param("N"), Param("N") - 1]))
+    return Assign(ArrayRef(target, (tidx,)), Call("g", (ArrayRef(src, (sidx,)),)))
+
+
+@st.composite
+def programs(draw):
+    n_items = draw(st.integers(1, 6))
+    body = []
+    for _ in range(n_items):
+        if draw(st.booleans()):
+            body.append(draw(loop_stmt()))
+        else:
+            body.append(draw(boundary_stmt()))
+    decls = tuple(ArrayDecl(name, (Param("N"),)) for name in ARRAYS)
+    return Program("rand", ("N",), decls, tuple(body))
+
+
+@given(programs())
+@settings(max_examples=60, deadline=None)
+def test_fusion_preserves_semantics(program):
+    validate(program)
+    fused, _ = fuse_program(program)
+    validate(fused)
+    for n in (8, 13):
+        ref = run_program(program, {"N": n}, steps=2)
+        out = run_program(fused, {"N": n}, steps=2)
+        for name in ref:
+            assert np.array_equal(ref[name], out[name]), name
+
+
+@given(programs())
+@settings(max_examples=30, deadline=None)
+def test_fusion_never_increases_source_loop_count(program):
+    validate(program)
+    fused, report = fuse_program(program)
+    # fused units never exceed the original loop count at level 1
+    level1 = report.levels[0]
+    assert level1.units_after <= max(level1.loops_before, len(program.body))

@@ -1,0 +1,119 @@
+"""Property-based tests: preliminary passes preserve semantics; layouts
+stay bijective under arbitrary grouping decisions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.regroup import regroup_plan
+from repro.core.regroup.algorithm import GroupNode, RegroupPlan
+from repro.interp import run_program
+from repro.lang import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    IndexVar,
+    Loop,
+    Param,
+    Program,
+    validate,
+)
+from repro.transform import distribute_loops, simplify_program, unroll_small_loops
+
+ARRAYS = ["A", "B", "C"]
+
+
+@st.composite
+def nest_programs(draw):
+    """Random two-level nests with mixed dependence patterns."""
+    i, j = IndexVar("i"), IndexVar("j")
+    n_stmts = draw(st.integers(1, 4))
+    body = []
+    for _ in range(n_stmts):
+        target = draw(st.sampled_from(ARRAYS))
+        joff = draw(st.integers(-1, 0))
+        reads = []
+        for _ in range(draw(st.integers(1, 2))):
+            arr = draw(st.sampled_from(ARRAYS))
+            roff = draw(st.integers(-1, 0))
+            reads.append(ArrayRef(arr, (j + roff, i)))
+        body.append(Assign(ArrayRef(target, (j + joff, i)), Call("f", tuple(reads))))
+    inner = Loop("j", Const(2), Param("N"), tuple(body))
+    outer = Loop("i", Const(1), Param("N"), (inner,))
+    decls = tuple(ArrayDecl(a, (Param("N"), Param("N"))) for a in ARRAYS)
+    return Program("rand", ("N",), decls, (outer,))
+
+
+@given(nest_programs())
+@settings(max_examples=40, deadline=None)
+def test_distribution_preserves_semantics(program):
+    validate(program)
+    distributed = distribute_loops(program)
+    validate(distributed)
+    for n in (8, 11):
+        ref = run_program(program, {"N": n})
+        out = run_program(distributed, {"N": n})
+        for name in ref:
+            assert np.array_equal(ref[name], out[name]), name
+
+
+@given(nest_programs())
+@settings(max_examples=40, deadline=None)
+def test_simplify_preserves_semantics(program):
+    simplified = simplify_program(program)
+    for n in (9,):
+        ref = run_program(program, {"N": n})
+        out = run_program(simplified, {"N": n})
+        for name in ref:
+            assert np.array_equal(ref[name], out[name]), name
+
+
+@given(nest_programs(), st.integers(5, 20))
+@settings(max_examples=30, deadline=None)
+def test_regrouped_layout_is_always_bijective(program, n):
+    plan = regroup_plan(validate(program))
+    layout = plan.materialize({"N": n})
+    layout.check_bijective()
+    # total size never shrinks below the element count
+    total = sum(n * n for _ in ARRAYS)
+    assert layout.total_elems == total
+
+
+@st.composite
+def group_trees(draw, names):
+    """Arbitrary laminar group trees over a fixed array set."""
+    if len(names) == 1:
+        return names[0]
+    level = draw(st.integers(0, 1))
+    k = draw(st.integers(1, len(names)))
+    # split names into k contiguous chunks
+    chunks = np.array_split(np.array(names, dtype=object), k)
+    children = []
+    for chunk in chunks:
+        sub = list(chunk)
+        if not sub:
+            continue
+        if len(sub) == 1:
+            children.append(sub[0])
+        else:
+            children.append(draw(group_trees(sub)))
+    if len(children) == 1:
+        return children[0]
+    # child levels must be strictly below the parent's: clamp
+    max_child = max(
+        (c.level for c in children if isinstance(c, GroupNode)), default=-1
+    )
+    return GroupNode(max(level, max_child + 1), children)
+
+
+@given(st.data(), st.integers(4, 12))
+@settings(max_examples=50, deadline=None)
+def test_arbitrary_group_trees_give_bijective_layouts(data, n):
+    decls = tuple(ArrayDecl(a, (Param("N"), Param("N"))) for a in ARRAYS)
+    program = Program("t", ("N",), decls, ())
+    tree = data.draw(group_trees(list(ARRAYS)))
+    plan = RegroupPlan(program, [tree] if isinstance(tree, GroupNode) else [tree])
+    layout = plan.materialize({"N": n})
+    layout.check_bijective()

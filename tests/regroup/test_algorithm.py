@@ -1,0 +1,160 @@
+"""Data-regrouping algorithm tests (paper §3, Figs. 7-8)."""
+
+from repro.core.regroup import (
+    GroupNode,
+    RegroupOptions,
+    default_layout,
+    padded_layout,
+    regroup_plan,
+)
+
+from conftest import build
+
+
+def test_fig7_exact_layout(fig7_program):
+    plan = regroup_plan(fig7_program)
+    assert plan.merged_array_count() == 1
+    (node,) = plan.items
+    assert isinstance(node, GroupNode)
+    assert node.level == 1  # rows interleaved
+    inner = [c for c in node.children if isinstance(c, GroupNode)]
+    assert len(inner) == 1 and inner[0].level == 0
+    assert sorted(inner[0].children) == ["A", "B"]
+    layout = plan.materialize({"N": 4})
+    layout.check_bijective()
+    # A[j,i] -> D[1,j,1,i]; B -> D[2,j,1,i]; C -> D[j,2,i]
+    assert layout.placements["A"].offset == 0
+    assert layout.placements["A"].strides == (2, 12)
+    assert layout.placements["B"].offset == 1
+    assert layout.placements["C"].offset == 8
+    assert layout.placements["C"].strides == (1, 12)
+
+
+def test_order_rule_blocks_outer_grouping():
+    # two phases traverse in opposite orders: only element-level grouping
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(A[j, i], B[j, i]) } }
+        for j = 1, N { for i = 1, N { A[j, i] = g(A[j, i], B[j, i]) } }
+        """
+    )
+    plan = regroup_plan(p)
+    assert plan.group_count() == 1
+    (node,) = [it for it in plan.items if isinstance(it, GroupNode)]
+    assert node.level == 0  # full element interleave, no row grouping
+    plan.materialize({"N": 5}).check_bijective()
+
+
+def test_never_together_stays_apart_in_strict_mode():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(A[j, i]) } }
+        for i = 1, N { for j = 1, N { B[j, i] = g(B[j, i]) } }
+        """
+    )
+    # strict = the paper's conservative guarantee: never grouped
+    plan = regroup_plan(p, RegroupOptions(strict=True))
+    assert plan.group_count() == 0
+    assert plan.merged_array_count() == 2
+    # default: the two conflict-free sweeps form one phase, allowing
+    # block-level (never element-level) grouping with bounded line spill
+    relaxed = regroup_plan(p)
+    for item in relaxed.items:
+        if isinstance(item, GroupNode):
+            assert item.level >= 1
+            assert all(not isinstance(c, GroupNode) for c in item.children)
+
+
+def test_conflicting_phases_stay_apart_by_default():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(A[j, i]) } }
+        for i = 1, N { for j = 1, N { A[j, i] = g(A[j, i]) } }
+        for i = 1, N { for j = 1, N { B[j, i] = g(B[j, i], A[1, 1]) } }
+        """
+    )
+    # the B sweep reads A -> conflicts -> separate phase -> no grouping
+    plan = regroup_plan(p)
+    assert plan.group_count() == 0
+
+
+def test_incompatible_shapes_stay_apart():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N]
+        for i = 1, N {
+          B[i] = 0.0
+          for j = 1, N { A[j, i] = f(A[j, i], B[i]) }
+        }
+        """
+    )
+    plan = regroup_plan(p)
+    assert plan.group_count() == 0
+
+
+def test_min_level_option_disables_element_grouping(fig7_program):
+    plan = regroup_plan(fig7_program, RegroupOptions(min_level=1))
+    (node,) = plan.items
+    assert isinstance(node, GroupNode)
+    assert node.level == 1
+    # A and B no longer element-interleaved
+    assert all(not isinstance(c, GroupNode) for c in node.children)
+    layout = plan.materialize({"N": 4})
+    layout.check_bijective()
+    assert layout.placements["A"].strides[0] == 1
+
+
+def test_narrow_wrap_loops_do_not_split_groups():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(A[j, i], B[j, i]) } }
+        A[1, 1] = 0.0
+        for i = 1, N { for j = 1, N { B[j, i] = g(A[j, i], B[j, i]) } }
+        """
+    )
+    plan = regroup_plan(p)
+    assert plan.group_count() == 1
+
+
+def test_materialize_is_compact():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N], C[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(B[j, i], C[j, i]) } }
+        """
+    )
+    plan = regroup_plan(p)
+    layout = plan.materialize({"N": 6})
+    layout.check_bijective()
+    assert layout.total_elems == 3 * 36  # no holes
+
+
+def test_padded_layout_bijective_and_staggered():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(B[j, i]) } }
+        """
+    )
+    layout = padded_layout(p, {"N": 8})
+    layout.check_bijective()
+    base = default_layout(p, {"N": 8})
+    assert layout.placements["B"].offset > base.placements["B"].offset

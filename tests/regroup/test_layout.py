@@ -1,0 +1,92 @@
+"""Layout engine tests: address translation must be exact and vectorized."""
+
+import numpy as np
+import pytest
+
+from repro.core.regroup import default_layout, regroup_plan
+from repro.core.regroup.layout import ArrayPlacement, Layout
+from repro.interp import trace_program
+from repro.lang import SimulationError
+
+from conftest import build
+
+
+def test_default_layout_sequential():
+    p = build(
+        "program t\nparam N\nreal A[N, N], B[N]\nA[1, 1] = B[1]"
+    )
+    layout = default_layout(p, {"N": 4})
+    assert layout.placements["A"].offset == 0
+    assert layout.placements["B"].offset == 16
+    assert layout.total_elems == 20
+
+
+def test_addresses_match_manual_computation():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = f(A[j, i]) } }
+        """
+    )
+    n = 5
+    trace = trace_program(p, {"N": n})
+    layout = default_layout(p, {"N": n})
+    addrs = layout.addresses(trace, in_bytes=False)
+    # manual: column-major (j fastest), A[j,i] -> (j-1) + (i-1)*n
+    k = 0
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            expected = (j - 1) + (i - 1) * n
+            assert addrs[k] == expected  # read
+            assert addrs[k + 1] == expected  # write
+            k += 2
+
+
+def test_byte_addresses_scale_by_elem_size():
+    p = build("program t\nparam N\nreal A[N]\nA[2] = A[1]")
+    trace = trace_program(p, {"N": 4})
+    layout = default_layout(p, {"N": 4})
+    assert list(layout.addresses(trace, in_bytes=False)) == [0, 1]
+    assert list(layout.addresses(trace, in_bytes=True)) == [0, 8]
+
+
+def test_regrouped_addresses_use_new_strides(fig7_program):
+    n = 4
+    trace = trace_program(fig7_program, {"N": n})
+    layout = regroup_plan(fig7_program).materialize({"N": n})
+    addrs = layout.addresses(trace, in_bytes=False)
+    # first iteration accesses A[1,1] (addr 0), B[1,1] (addr 1)
+    names = [fig7_program.arrays[a].name for a in trace.array_ids[:4]]
+    assert addrs[0] == 0  # A[1,1] read
+    assert addrs[1] == 1  # B[1,1] read
+
+
+def test_collision_detected():
+    bad = Layout(
+        {
+            "A": ArrayPlacement("A", (4,), 0, (1,)),
+            "B": ArrayPlacement("B", (4,), 2, (1,)),  # overlaps A
+        },
+        8,
+    )
+    with pytest.raises(SimulationError, match="collision"):
+        bad.check_bijective()
+
+
+def test_mixed_rank_arrays_in_one_layout():
+    p = build(
+        """
+        program t
+        param N
+        real A[N, N, N], B[N]
+        for i = 1, N { B[i] = f(A[1, 1, i]) }
+        """
+    )
+    trace = trace_program(p, {"N": 4})
+    layout = default_layout(p, {"N": 4})
+    addrs = layout.addresses(trace, in_bytes=False)
+    layout.check_bijective()
+    assert addrs[0] == 0 + 0 * 4 + 0 * 16  # A[1,1,1]
+    assert addrs[1] == 64  # B[1] right after A

@@ -1,0 +1,120 @@
+"""Substitution / renaming tests."""
+
+import pytest
+
+from repro.lang import (
+    Affine,
+    Const,
+    Guard,
+    IndexVar,
+    Loop,
+    TransformError,
+    parse,
+)
+from repro.transform.subst import (
+    FreshNames,
+    bound_names,
+    rename_bound,
+    subst_expr,
+    subst_stmt,
+)
+
+from conftest import build
+
+
+def body_of(src):
+    return build(src).body
+
+
+def test_subst_expr():
+    (loop,) = body_of(
+        "program t\nparam N\nreal A[N]\nfor i = 1, N { A[i] = f(A[i]) }"
+    )
+    stmt = loop.body[0]
+    out = subst_stmt(stmt, {"i": IndexVar("f") - 2})
+    assert "f" in str(out)
+    assert "i" not in {v for v in str(out).split() if v == "i"}
+
+
+def test_subst_guard_variable_translates_intervals():
+    (loop,) = body_of(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [2:N - 1] { A[i] = 0.0 }
+        }
+        """
+    )
+    guard = loop.body[0]
+    out = subst_stmt(guard, {"i": IndexVar("f") - 3})
+    assert isinstance(out, Guard)
+    assert out.index == "f"
+    assert out.intervals[0].lower == Affine.constant(5)
+    assert out.intervals[0].upper == Affine.var("N") + 2
+
+
+def test_subst_guard_by_constant_rejected():
+    (loop,) = body_of(
+        """
+        program t
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [2] { A[i] = 0.0 }
+        }
+        """
+    )
+    with pytest.raises(TransformError):
+        subst_stmt(loop.body[0], {"i": Const(2)})
+
+
+def test_subst_rebinding_rejected():
+    (outer,) = body_of(
+        """
+        program t
+        param N
+        real A[N, N]
+        for i = 1, N {
+          for j = 1, N { A[j, i] = 0.0 }
+        }
+        """
+    )
+    with pytest.raises(TransformError, match="re-bound"):
+        subst_stmt(outer, {"i": IndexVar("x")})
+
+
+def test_bound_names():
+    body = body_of(
+        """
+        program t
+        param N
+        real A[N, N]
+        for i = 1, N { for j = 1, N { A[j, i] = 0.0 } }
+        """
+    )
+    assert bound_names(body) == {"i", "j"}
+
+
+def test_rename_bound_avoids_collision():
+    (outer,) = body_of(
+        """
+        program t
+        param N
+        real A[N, N]
+        for k = 1, N {
+          for i = 1, N { A[i, k] = f(A[i, k]) }
+        }
+        """
+    )
+    fresh = FreshNames({"N", "i", "k"})
+    renamed = rename_bound(outer.body[0], {"i"}, fresh)
+    assert renamed.index != "i"
+    assert renamed.index in str(renamed.body[0])
+
+
+def test_fresh_names_never_collide():
+    fresh = FreshNames({"f1", "f2"})
+    assert fresh.fresh("f") == "f3"
+    assert fresh.fresh("f") == "f4"

@@ -8,7 +8,7 @@ We measure execution time (normalized to the original) for fusion-only,
 regrouping-only, and the combined strategy across all four applications.
 """
 
-from repro.harness import format_table, measure_application
+from repro.harness import default_cache_dir, format_table, run_application
 
 
 def run():
@@ -16,7 +16,10 @@ def run():
     results_by_app = {}
     levels = ["noopt", "fusion", "regroup", "new", "fusion1+regroup"]
     for app in ("swim", "tomcatv", "adi", "sp"):
-        res = {r.level: r for r in measure_application(app, levels)}
+        res = {
+            r.level: r
+            for r in run_application(app, levels, cache_dir=str(default_cache_dir()))
+        }
         base = res["noopt"].stats
         norm = {
             level: res[level].stats.normalized_to(base)["time"]

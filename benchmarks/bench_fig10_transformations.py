@@ -18,9 +18,12 @@ import pytest
 
 from repro.harness import (
     NORMALIZED_HEADERS,
+    TIMING_HEADERS,
+    default_cache_dir,
     format_table,
-    measure_application,
     normalized_rows,
+    run_application,
+    timing_rows,
 )
 
 LEVELS = {
@@ -39,14 +42,22 @@ PAPER_NOTES = {
 
 
 def run(app):
-    results = measure_application(app, LEVELS[app])
+    # shared parallel runner + on-disk trace cache (warm repeats replay)
+    results = run_application(
+        app, LEVELS[app], cache_dir=str(default_cache_dir())
+    )
     table = format_table(
         NORMALIZED_HEADERS,
         normalized_rows(results),
         title=f"Figure 10 - {app} "
         f"(machine {results[0].stats.machine}, {results[0].trace_length:,} accesses)",
     )
-    return results, table + f"\n  {PAPER_NOTES[app]}"
+    timing = format_table(
+        TIMING_HEADERS,
+        timing_rows(results),
+        title="per-stage seconds ('-' = served from cache)",
+    )
+    return results, table + f"\n  {PAPER_NOTES[app]}\n\n" + timing
 
 
 def norm(results, level, metric="time"):

@@ -11,6 +11,7 @@ of those hills, (3) source-level fusion realizes a large part of that.
 import pytest
 
 from repro.core import compile_variant
+from repro.harness import stage_timer
 from repro.interp import trace_program
 from repro.lang import validate
 from repro.locality import ReuseHistogram, reuse_distances
@@ -27,32 +28,40 @@ CASES = {
 }
 
 
-def curves(app: str, n: int, with_fused: bool) -> dict[str, ReuseHistogram]:
+def curves(
+    app: str, n: int, with_fused: bool, timings: dict
+) -> dict[str, ReuseHistogram]:
     entry = APPLICATIONS[app]
     program = validate(entry.build())
     out = {}
-    trace = trace_program(program, {"N": n}, with_instr=True)
-    out["program order"] = ReuseHistogram.from_distances(
-        reuse_distances(trace.global_keys())
-    )
+    with stage_timer(timings, "trace-gen"):
+        trace = trace_program(program, {"N": n}, with_instr=True)
+    with stage_timer(timings, "distance"):
+        out["program order"] = ReuseHistogram.from_distances(
+            reuse_distances(trace.global_keys())
+        )
     reordered = reuse_driven_order(trace)
-    out["reuse driven"] = ReuseHistogram.from_distances(
-        reuse_distances(reordered.trace.global_keys())
-    )
+    with stage_timer(timings, "distance"):
+        out["reuse driven"] = ReuseHistogram.from_distances(
+            reuse_distances(reordered.trace.global_keys())
+        )
     if with_fused:
         fused = compile_variant(program, "fusion")
-        ftrace = trace_program(fused.program, {"N": n})
-        out["reuse-based fusion"] = ReuseHistogram.from_distances(
-            reuse_distances(ftrace.global_keys())
-        )
+        with stage_timer(timings, "trace-gen"):
+            ftrace = trace_program(fused.program, {"N": n})
+        with stage_timer(timings, "distance"):
+            out["reuse-based fusion"] = ReuseHistogram.from_distances(
+                reuse_distances(ftrace.global_keys())
+            )
     return out
 
 
 def render(app: str, sizes) -> str:
     lines = [f"Figure 3 - {app}: reuse distance histograms (log2 bins)"]
+    timings: dict = {}
     for n in sizes:
         with_fused = app == "sp" and n == sizes[-1]
-        data = curves(app, n, with_fused)
+        data = curves(app, n, with_fused, timings)
         lines.append(f"\n-- input {n} --")
         for label, hist in data.items():
             lines.append(hist.format_ascii(width=40, label=f"[{label}]"))
@@ -75,6 +84,10 @@ def render(app: str, sizes) -> str:
                 f"\n  [deviation D1] mean log2 distance change under "
                 f"reuse-driven execution: {delta:+.2f}"
             )
+    lines.append(
+        "\nstage seconds: "
+        + ", ".join(f"{k} {v:.2f}" for k, v in sorted(timings.items()))
+    )
     return "\n".join(lines)
 
 

@@ -8,7 +8,12 @@ baseline (intra-nest fusion + inter-array padding) and report the same
 average improvement factors.
 """
 
-from repro.harness import format_table, geometric_mean, measure_application
+from repro.harness import (
+    default_cache_dir,
+    format_table,
+    geometric_mean,
+    run_application,
+)
 
 APPS = ("swim", "tomcatv", "adi", "sp")
 
@@ -17,7 +22,12 @@ def run():
     rows = []
     factors = {"l1": [], "l2": [], "tlb": []}
     for app in APPS:
-        res = {r.level: r for r in measure_application(app, ["noopt", "sgi", "new"])}
+        res = {
+            r.level: r
+            for r in run_application(
+                app, ["noopt", "sgi", "new"], cache_dir=str(default_cache_dir())
+            )
+        }
         noopt, sgi, new = res["noopt"].stats, res["sgi"].stats, res["new"].stats
         rows.append(
             [

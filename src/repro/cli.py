@@ -9,33 +9,44 @@ Subcommands:
 * ``report APP``     — Fig. 10-style measurement of a bundled application
   (or a file) across optimization levels on the scaled machine;
 * ``levels``         — list the optimization levels;
-* ``apps``           — list the bundled benchmark applications.
+* ``apps``           — list the bundled benchmark applications;
+* ``bench-engine``   — time the fast vs. reference simulation engines on
+  one application and assert their metrics are bit-identical;
+* ``cache``          — inspect or clear the on-disk trace/result cache.
 
 Examples::
 
     python -m repro fuse kernel.loop --level fusion
     python -m repro regroup kernel.loop -p N=512
     python -m repro report adi --levels noopt,fusion,new
+    python -m repro bench-engine adi
+    python -m repro cache --clear
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import OPT_LEVELS, compile_variant
 from .harness import (
     NORMALIZED_HEADERS,
+    TIMING_HEADERS,
+    TraceCache,
     format_table,
     machine_for,
     measure,
     measure_application,
     normalized_rows,
+    timing_rows,
 )
+from .interp import trace_program
 from .lang import Program, ReproError, parse, to_source, validate
-from .programs import APPLICATIONS
+from .memsim import ENGINES, simulate_addresses
+from .programs import APPLICATIONS, registry
 from .programs.registry import MachineSpec
 
 
@@ -85,8 +96,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     unknown = [l for l in levels if l not in OPT_LEVELS and not l.endswith("+regroup")]
     if unknown:
         raise SystemExit(f"unknown levels: {unknown}; see 'repro levels'")
+    cache = TraceCache(args.cache_dir) if args.cache else None
     if args.target in APPLICATIONS:
-        results = measure_application(args.target, levels)
+        results = measure_application(
+            args.target, levels, engine=args.engine, cache=cache
+        )
         title = f"{args.target} (registry application, scaled machine)"
     else:
         program = _load_program(args.target)
@@ -95,11 +109,97 @@ def cmd_report(args: argparse.Namespace) -> int:
             raise SystemExit("measuring a file requires -p NAME=INT")
         machine = machine_for(MachineSpec())
         results = [
-            measure(program, level, params, machine, steps=args.steps)
+            measure(
+                program,
+                level,
+                params,
+                machine,
+                steps=args.steps,
+                engine=args.engine,
+                cache=cache,
+            )
             for level in levels
         ]
         title = f"{program.name} ({args.target})"
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results), title=title))
+    if args.timings:
+        print()
+        print(
+            format_table(
+                TIMING_HEADERS,
+                timing_rows(results),
+                title="per-stage seconds ('-' = served from cache)",
+            )
+        )
+    return 0
+
+
+def cmd_bench_engine(args: argparse.Namespace) -> int:
+    """Time fast vs. reference engines; fail unless metrics are identical."""
+    levels = args.levels.split(",")
+    entry = registry.get(args.app)
+    program = validate(entry.build())
+    machine = machine_for(entry.machine_spec)
+    params = _parse_params(args.param) or entry.default_params
+    steps = args.steps if args.steps is not None else entry.steps
+
+    headers = ("level", "engine", "l1", "l2", "tlb", "sim total")
+    rows: list[list[object]] = []
+    totals = dict.fromkeys(ENGINES, 0.0)
+    identical = True
+    for level in levels:
+        variant = compile_variant(program, level)
+        trace = trace_program(variant.program, params, steps=steps)
+        addresses = variant.layout(params).addresses(trace, in_bytes=True)
+        stats_by = {}
+        for engine in ("reference", "fast"):
+            best, best_timings = float("inf"), {}
+            for _ in range(args.repeats):
+                timings: dict[str, float] = {}
+                t0 = time.perf_counter()
+                stats = simulate_addresses(
+                    addresses, trace.writes, machine, engine=engine, timings=timings
+                )
+                elapsed = time.perf_counter() - t0
+                if elapsed < best:
+                    best, best_timings = elapsed, timings
+            stats_by[engine] = stats
+            totals[engine] += best
+            rows.append(
+                [level, engine]
+                + [best_timings.get(s, 0.0) for s in ("l1", "l2", "tlb")]
+                + [best]
+            )
+        if stats_by["fast"] != stats_by["reference"]:
+            identical = False
+            print(f"ENGINE MISMATCH at level {level}:", file=sys.stderr)
+            print(f"  reference: {stats_by['reference']}", file=sys.stderr)
+            print(f"  fast:      {stats_by['fast']}", file=sys.stderr)
+
+    title = (
+        f"{args.app} engine comparison ({machine.name}, params {dict(params)}, "
+        f"best of {args.repeats}; seconds)"
+    )
+    print(format_table(headers, rows, title=title))
+    speedup = totals["reference"] / totals["fast"] if totals["fast"] else 0.0
+    print(
+        f"\nmetrics bit-identical across engines: {identical}\n"
+        f"sim wall-clock: reference {totals['reference']:.3f}s, "
+        f"fast {totals['fast']:.3f}s -> {speedup:.2f}x speedup"
+    )
+    return 0 if identical else 1
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    cache = TraceCache(args.dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}/")
+    info = cache.info()
+    print(
+        f"{cache.root}/: {info['traces']} traces, {info['results']} results, "
+        f"{info['bytes'] / 1e6:.1f} MB"
+    )
     return 0
 
 
@@ -153,7 +253,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--levels", default="noopt,fusion,new")
     report.add_argument("-p", "--param", action="append", metavar="NAME=INT")
     report.add_argument("--steps", type=int, default=1)
+    report.add_argument(
+        "--engine", choices=ENGINES, default=None, help="simulation engine"
+    )
+    report.add_argument(
+        "--timings", action="store_true", help="print per-stage wall-clock table"
+    )
+    report.add_argument(
+        "--cache", action="store_true", help="use the on-disk trace/result cache"
+    )
+    report.add_argument("--cache-dir", default=None, help="cache directory")
     report.set_defaults(fn=cmd_report)
+
+    bench = sub.add_parser(
+        "bench-engine",
+        help="compare fast vs. reference simulation engines",
+    )
+    bench.add_argument("app", nargs="?", default="adi", help="registry app name")
+    bench.add_argument("--levels", default="noopt,fusion,new")
+    bench.add_argument("-p", "--param", action="append", metavar="NAME=INT")
+    bench.add_argument("--steps", type=int, default=None)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.set_defaults(fn=cmd_bench_engine)
+
+    cache = sub.add_parser("cache", help="inspect or clear the trace/result cache")
+    cache.add_argument("--dir", default=None, help="cache directory (default .cache)")
+    cache.add_argument("--clear", action="store_true")
+    cache.set_defaults(fn=cmd_cache)
 
     levels = sub.add_parser("levels", help="list optimization levels")
     levels.set_defaults(fn=cmd_levels)

@@ -1,33 +1,57 @@
 """Experiment drivers and table formatting shared by benchmarks/examples."""
 
+from .cache import TraceCache, default_cache_dir, layout_fingerprint
 from .experiment import (
     VariantResult,
     machine_for,
     measure,
     measure_application,
+    stage_timer,
     trace_for,
+)
+from .parallel import (
+    ExperimentRecord,
+    ExperimentSpec,
+    ParallelRunner,
+    run_application,
+    run_spec,
 )
 from .sweep import SweepPoint, growth_factor, scaling_sweep
 from .tables import (
     NORMALIZED_HEADERS,
+    TIMING_HEADERS,
+    TIMING_STAGES,
     format_table,
     geometric_mean,
     normalized_rows,
     ratio,
+    timing_rows,
 )
 
 __all__ = [
+    "ExperimentRecord",
+    "ExperimentSpec",
     "NORMALIZED_HEADERS",
+    "ParallelRunner",
     "SweepPoint",
+    "TIMING_HEADERS",
+    "TIMING_STAGES",
+    "TraceCache",
     "VariantResult",
+    "default_cache_dir",
     "format_table",
     "geometric_mean",
+    "layout_fingerprint",
     "machine_for",
     "measure",
     "measure_application",
     "normalized_rows",
     "ratio",
     "growth_factor",
+    "run_application",
+    "run_spec",
     "scaling_sweep",
+    "stage_timer",
+    "timing_rows",
     "trace_for",
 ]

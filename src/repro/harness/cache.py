@@ -1,0 +1,156 @@
+"""On-disk trace and result cache for the experiment harness.
+
+Trace generation (interpreting the program) dominates warm experiment
+time once the fast simulation engine is in play, and the same (program,
+size, optimization level, layout) tuple is re-traced by every benchmark
+that touches it.  :class:`TraceCache` persists the two arrays the
+simulator actually consumes — the byte-address stream and the write
+mask — under ``.cache/`` so repeat runs replay instead of re-tracing,
+plus the final :class:`~repro.memsim.MemStats` per (trace, machine,
+engine) so fully-repeated experiments skip simulation entirely.
+
+Keys are content hashes over the compiled program text, the parameter
+binding, the step count, and a fingerprint of the data layout (array
+placements), so *any* change to the program, the transformations applied
+to it, or the regrouped layout invalidates the entry automatically.
+Explicit invalidation is ``TraceCache.clear()`` or
+``python -m repro cache --clear``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..core.regroup.layout import Layout
+from ..memsim import MachineConfig, MemStats
+
+#: Default cache directory (overridable via ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = ".cache"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def layout_fingerprint(layout: Layout) -> str:
+    """Stable hash of a data layout (the regrouping side of the key)."""
+    items = []
+    for name in sorted(layout.placements):
+        p = layout.placements[name]
+        items.append(
+            (p.name, tuple(p.shape), int(p.offset), tuple(p.strides), p.elem_size)
+        )
+    return hashlib.sha256(repr(items).encode()).hexdigest()[:16]
+
+
+class TraceCache:
+    """Content-addressed store for address streams and experiment results."""
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys ----------------------------------------------------------
+
+    def trace_key(
+        self,
+        program_text: str,
+        params: Mapping[str, int],
+        steps: int,
+        layout_hash: str,
+    ) -> str:
+        """Key of one (program variant, size, layout) address stream.
+
+        ``program_text`` is the *compiled* variant's source, so the
+        optimization level and every fusion/regroup knob that changes
+        the access order is already folded in; ``layout_hash`` covers
+        transformations that only move data.
+        """
+        blob = json.dumps(
+            {
+                "program": program_text,
+                "params": {k: int(v) for k, v in sorted(params.items())},
+                "steps": int(steps),
+                "layout": layout_hash,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    def result_key(
+        self, trace_key: str, machine: MachineConfig, engine: Optional[str]
+    ) -> str:
+        """Key of one simulated outcome: trace x machine x engine."""
+        blob = f"{trace_key}|{machine!r}|{engine or ''}"
+        return hashlib.sha256(blob.encode()).hexdigest()[:32]
+
+    # -- traces --------------------------------------------------------
+
+    def load_trace(self, key: str) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        path = self.root / f"trace-{key}.npz"
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                return data["addresses"], data["writes"]
+        except (OSError, KeyError, ValueError):
+            return None  # corrupt entry: treat as a miss, it will be rewritten
+
+    def store_trace(
+        self, key: str, addresses: np.ndarray, writes: np.ndarray
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"trace-{key}.npz"
+        tmp = path.with_suffix(".tmp.npz")
+        np.savez(tmp, addresses=addresses, writes=writes)
+        tmp.replace(path)  # atomic publish: concurrent readers never see partial files
+
+    # -- results -------------------------------------------------------
+
+    def load_result(self, key: str) -> Optional[MemStats]:
+        path = self.root / f"result-{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return MemStats(**json.loads(path.read_text()))
+        except (OSError, TypeError, ValueError):
+            return None
+
+    def store_result(self, key: str, stats: MemStats) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"result-{key}.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(dataclasses.asdict(stats)))
+        tmp.replace(path)
+
+    # -- maintenance ---------------------------------------------------
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.name.startswith(("trace-", "result-")):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+    def info(self) -> dict[str, int]:
+        """Entry counts and on-disk footprint."""
+        traces = results = size = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.name.startswith("trace-"):
+                    traces += 1
+                elif path.name.startswith("result-"):
+                    results += 1
+                else:
+                    continue
+                size += path.stat().st_size
+        return {"traces": traces, "results": results, "bytes": size}

@@ -8,7 +8,9 @@ size, simulates the scaled memory hierarchy, and returns one
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core import CompiledVariant, compile_variant
@@ -17,8 +19,17 @@ from ..core.regroup import RegroupOptions
 from ..interp import trace_program
 from ..interp.trace import AccessTrace
 from ..lang import Program, validate
-from ..memsim import MACHINES, MachineConfig, MemStats, scaled_machine, simulate_hierarchy
+from ..memsim import (
+    MACHINES,
+    MachineConfig,
+    MemStats,
+    default_engine,
+    scaled_machine,
+    simulate_addresses,
+    simulate_hierarchy,
+)
 from ..programs import registry
+from .cache import TraceCache, layout_fingerprint
 
 
 @dataclass
@@ -31,6 +42,8 @@ class VariantResult:
     stats: MemStats
     variant: CompiledVariant
     trace_length: int
+    #: per-stage wall-clock seconds (trace-gen, addresses, l1, l2, tlb)
+    timings: dict = field(default_factory=dict)
 
     def row(self) -> dict:
         return {
@@ -43,6 +56,22 @@ class VariantResult:
             "seconds": self.stats.seconds,
             "bytes": self.stats.data_transferred_bytes,
         }
+
+
+@contextmanager
+def stage_timer(timings: dict, stage: str):
+    """Accumulate a block's wall-clock seconds under ``timings[stage]``.
+
+    The benchmark-side counterpart of the stages ``simulate_hierarchy``
+    times internally — e.g. wrap an Olken ``reuse_distances`` pass with
+    ``stage_timer(timings, "distance")`` to fill the timing table's
+    ``distance`` column.
+    """
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        timings[stage] = timings.get(stage, 0.0) + time.perf_counter() - t0
 
 
 def machine_for(spec) -> MachineConfig:
@@ -64,23 +93,69 @@ def measure(
     name: Optional[str] = None,
     fusion_options: Optional[FusionOptions] = None,
     regroup_options: Optional[RegroupOptions] = None,
+    engine: Optional[str] = None,
+    cache: Optional[TraceCache] = None,
 ) -> VariantResult:
-    """Compile at ``level``, trace, and simulate one program variant."""
+    """Compile at ``level``, trace, and simulate one program variant.
+
+    ``engine`` selects the simulation engine (``"fast"``/``"reference"``,
+    default per :func:`repro.memsim.default_engine`).  ``cache`` replays
+    address streams — and whole results, when the machine and engine also
+    match — from disk instead of re-tracing.  Per-stage seconds land in
+    :attr:`VariantResult.timings`.
+    """
+    engine = engine or default_engine()
+    timings: dict[str, float] = {}
     variant = compile_variant(
         program, level, fusion_options=fusion_options, regroup_options=regroup_options
     )
     validate(variant.program)
-    trace = trace_program(variant.program, params, steps=steps)
     layout = variant.layout(params)
-    stats = simulate_hierarchy(trace, layout, machine)
-    return VariantResult(
-        program=name or program.name,
-        level=level,
-        params=dict(params),
-        stats=stats,
-        variant=variant,
-        trace_length=len(trace),
+
+    def _result(stats: MemStats, trace_length: int) -> VariantResult:
+        return VariantResult(
+            program=name or program.name,
+            level=level,
+            params=dict(params),
+            stats=stats,
+            variant=variant,
+            trace_length=trace_length,
+            timings=timings,
+        )
+
+    if cache is not None:
+        tkey = cache.trace_key(
+            str(variant.program), params, steps, layout_fingerprint(layout)
+        )
+        rkey = cache.result_key(tkey, machine, engine)
+        stats = cache.load_result(rkey)
+        if stats is not None:
+            return _result(stats, stats.accesses)
+        cached = cache.load_trace(tkey)
+        if cached is not None:
+            addresses, writes = cached
+        else:
+            t0 = time.perf_counter()
+            trace = trace_program(variant.program, params, steps=steps)
+            t1 = time.perf_counter()
+            timings["trace-gen"] = t1 - t0
+            addresses = layout.addresses(trace, in_bytes=True)
+            timings["addresses"] = time.perf_counter() - t1
+            writes = trace.writes
+            cache.store_trace(tkey, addresses, writes)
+        stats = simulate_addresses(
+            addresses, writes, machine, engine=engine, timings=timings
+        )
+        cache.store_result(rkey, stats)
+        return _result(stats, len(addresses))
+
+    t0 = time.perf_counter()
+    trace = trace_program(variant.program, params, steps=steps)
+    timings["trace-gen"] = time.perf_counter() - t0
+    stats = simulate_hierarchy(
+        trace, layout, machine, engine=engine, timings=timings
     )
+    return _result(stats, len(trace))
 
 
 def measure_application(
@@ -91,6 +166,8 @@ def measure_application(
     machine: Optional[MachineConfig] = None,
     fusion_options: Optional[FusionOptions] = None,
     regroup_options: Optional[RegroupOptions] = None,
+    engine: Optional[str] = None,
+    cache: Optional[TraceCache] = None,
 ) -> list[VariantResult]:
     """Measure a registry application at several optimization levels."""
     entry = registry.get(app)
@@ -109,6 +186,8 @@ def measure_application(
                 name=app,
                 fusion_options=fusion_options,
                 regroup_options=regroup_options,
+                engine=engine,
+                cache=cache,
             )
         )
     return out

@@ -1,0 +1,136 @@
+"""Parallel experiment execution with deterministic result ordering.
+
+A benchmark is a list of independent (program, level, size) experiments;
+:class:`ParallelRunner` fans them out across worker processes with
+``multiprocessing.Pool.map``, which preserves input order, so a parallel
+run returns *bit-identical* records in the *same order* as a serial run
+— the property the integration tests pin.
+
+Experiments cross the process boundary as :class:`ExperimentSpec`
+records (registry name + plain-data options), not as compiled variants:
+a :class:`~repro.core.CompiledVariant` carries layout closures that do
+not pickle.  Results come back as the equally-slim
+:class:`ExperimentRecord`.  Both directions compose with the on-disk
+:class:`~repro.harness.cache.TraceCache`, so workers share traces
+through the filesystem rather than re-tracing per process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.fusion import FusionOptions
+from ..core.regroup import RegroupOptions
+from ..memsim import MachineConfig, MemStats
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment, as plain picklable data.
+
+    ``app`` names a registry application; ``params``/``steps``/``machine``
+    default to the registry entry's values when omitted.  ``cache_dir``
+    (a path) enables the on-disk trace/result cache for this experiment.
+    """
+
+    app: str
+    level: str
+    params: Optional[Mapping[str, int]] = None
+    steps: Optional[int] = None
+    machine: Optional[MachineConfig] = None
+    fusion_options: Optional[FusionOptions] = None
+    regroup_options: Optional[RegroupOptions] = None
+    engine: Optional[str] = None
+    cache_dir: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """The measured outcome of one spec (slim, picklable)."""
+
+    program: str
+    level: str
+    params: dict
+    trace_length: int
+    stats: MemStats
+    timings: dict = field(default_factory=dict)
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentRecord:
+    """Execute one spec (module-level so worker processes can import it)."""
+    from .cache import TraceCache
+    from .experiment import machine_for, measure
+    from ..lang import validate
+    from ..programs import registry
+
+    entry = registry.get(spec.app)
+    program = validate(entry.build())
+    machine = spec.machine if spec.machine is not None else machine_for(
+        entry.machine_spec
+    )
+    result = measure(
+        program,
+        spec.level,
+        dict(spec.params) if spec.params is not None else entry.default_params,
+        machine,
+        steps=entry.steps if spec.steps is None else spec.steps,
+        name=spec.app,
+        fusion_options=spec.fusion_options,
+        regroup_options=spec.regroup_options,
+        engine=spec.engine,
+        cache=TraceCache(spec.cache_dir) if spec.cache_dir else None,
+    )
+    return ExperimentRecord(
+        program=result.program,
+        level=result.level,
+        params=dict(result.params),
+        trace_length=result.trace_length,
+        stats=result.stats,
+        timings=dict(result.timings),
+    )
+
+
+class ParallelRunner:
+    """Run experiment specs across processes, results in input order."""
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentRecord]:
+        specs = list(specs)
+        if self.jobs <= 1 or len(specs) <= 1:
+            return [run_spec(s) for s in specs]
+        # fork keeps the already-imported interpreter state; Pool.map
+        # preserves ordering regardless of completion order.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(self.jobs, len(specs))) as pool:
+            return pool.map(run_spec, specs)
+
+
+def run_application(
+    app: str,
+    levels: Sequence[str],
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
+    **spec_kwargs,
+) -> list[ExperimentRecord]:
+    """Measure ``app`` at several levels via the parallel runner.
+
+    Drop-in shape for the benchmarks' ``measure_application`` loops: one
+    record per level, in the order given.
+    """
+    specs = [
+        ExperimentSpec(
+            app=app,
+            level=level,
+            engine=engine,
+            cache_dir=cache_dir,
+            **spec_kwargs,
+        )
+        for level in levels
+    ]
+    return ParallelRunner(jobs=jobs).run(specs)

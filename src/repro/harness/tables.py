@@ -78,6 +78,29 @@ NORMALIZED_HEADERS = (
 )
 
 
+#: Canonical stage order for :func:`timing_rows`.
+TIMING_STAGES = ("trace-gen", "addresses", "l1", "l2", "tlb", "distance")
+
+TIMING_HEADERS = ("level",) + TIMING_STAGES + ("total",)
+
+
+def timing_rows(results: Sequence) -> list[list[object]]:
+    """Per-stage wall-clock rows from results carrying a ``timings`` dict.
+
+    Stages a result skipped (e.g. a cache hit never re-traces) render as
+    ``-`` so a warm run is visibly cheaper than a cold one.
+    """
+    rows: list[list[object]] = []
+    for r in results:
+        timings = getattr(r, "timings", None) or {}
+        row: list[object] = [r.level]
+        for stage in TIMING_STAGES:
+            row.append(timings[stage] if stage in timings else "-")
+        row.append(sum(timings.values()))
+        rows.append(row)
+    return rows
+
+
 def ratio(a: float, b: float) -> float:
     return a / b if b else (0.0 if a == 0 else float("inf"))
 

@@ -1,7 +1,15 @@
 """Memory-hierarchy simulation substrate (replaces hardware counters)."""
 
-from .cache import CacheConfig, CacheResult, simulate_cache, simulate_cache_writeback
-from .hierarchy import MemStats, miss_mask_l1, simulate_hierarchy
+from .cache import (
+    ENGINES,
+    CacheConfig,
+    CacheResult,
+    default_engine,
+    simulate_cache,
+    simulate_cache_writeback,
+)
+from .fastsim import fa_miss_counts
+from .hierarchy import MemStats, miss_mask_l1, simulate_addresses, simulate_hierarchy
 from .machine import (
     MACHINES,
     MachineConfig,
@@ -15,15 +23,19 @@ from .machine import (
 __all__ = [
     "CacheConfig",
     "CacheResult",
+    "ENGINES",
     "MACHINES",
     "MachineConfig",
     "MemStats",
     "TLBConfig",
     "TimingModel",
+    "default_engine",
+    "fa_miss_counts",
     "miss_mask_l1",
     "octane",
     "origin2000",
     "scaled_machine",
+    "simulate_addresses",
     "simulate_cache",
     "simulate_cache_writeback",
     "simulate_hierarchy",

@@ -6,14 +6,21 @@ per-access miss mask so levels can be chained (L2 sees only L1 misses),
 plus the number of dirty-line write-backs — the outbound half of the
 bandwidth the paper's effective-bandwidth argument is about.
 
-The hot loop is plain Python over pre-extracted lists — measured at well
-under a microsecond per access for 2-way caches, which covers the scaled
-benchmark sizes comfortably.  Dedicated fast paths handle the
-associativities that actually occur (1, 2, fully associative).
+Two engines share this entry point.  The **reference** engine is the
+original scalar implementation below: plain Python over pre-extracted
+lists, the ground truth every optimization is checked against.  The
+**fast** engine (:mod:`repro.memsim.fastsim`) re-derives the identical
+miss masks and write-back counts with vectorized numpy set-partitioned
+processing, run-length compression, and a reuse-distance-style
+fully-associative path — several times faster on multi-million access
+traces.  Select per call via ``engine=`` or globally via the
+``REPRO_ENGINE`` environment variable; results are bit-identical (a
+property-test suite pins the equivalence).
 """
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -21,6 +28,19 @@ from typing import Optional
 import numpy as np
 
 from ..lang import SimulationError
+
+#: Engine names accepted by ``simulate_cache*``.
+ENGINES = ("fast", "reference")
+
+
+def default_engine() -> str:
+    """Engine used when none is requested (``REPRO_ENGINE`` overrides)."""
+    engine = os.environ.get("REPRO_ENGINE", "fast")
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown REPRO_ENGINE {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -54,8 +74,13 @@ class CacheConfig:
         return self.num_lines if self.assoc == 0 else self.assoc
 
     def scaled(self, factor: float) -> "CacheConfig":
-        """Shrink/grow capacity, preserving line size and associativity."""
-        lines = max(self.ways if self.assoc == 0 else self.assoc,
+        """Shrink/grow capacity, preserving line size and associativity.
+
+        Clamped so any positive factor yields a valid geometry: at least
+        one full set (``num_lines >= assoc``, rounded to a multiple of
+        the associativity) and at least one line when fully associative.
+        """
+        lines = max(1 if self.assoc == 0 else self.assoc,
                     int(self.num_lines * factor))
         if self.assoc:
             lines = max(self.assoc, (lines // self.assoc) * self.assoc)
@@ -74,29 +99,40 @@ class CacheResult:
         return int(self.miss.sum())
 
 
-def simulate_cache(config: CacheConfig, addresses: np.ndarray) -> np.ndarray:
+def simulate_cache(
+    config: CacheConfig, addresses: np.ndarray, engine: Optional[str] = None
+) -> np.ndarray:
     """Simulate one cache level; returns the per-access miss mask."""
-    return simulate_cache_writeback(config, addresses, None).miss
+    return simulate_cache_writeback(config, addresses, None, engine=engine).miss
 
 
 def simulate_cache_writeback(
     config: CacheConfig,
     addresses: np.ndarray,
     writes: Optional[np.ndarray],
+    engine: Optional[str] = None,
 ) -> CacheResult:
     """Simulate with write-back accounting.
 
     ``writes`` marks store accesses (None = all loads).  A dirty line
     contributes one write-back when evicted; dirty lines still resident at
     the end are flushed and counted too (the data must eventually reach
-    memory).
+    memory).  ``engine`` selects the implementation ("fast" or
+    "reference"); both return bit-identical results.
     """
+    engine = engine or default_engine()
+    if engine not in ENGINES:
+        raise SimulationError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     lines = (np.asarray(addresses, dtype=np.int64) // config.line_bytes)
     wr = (
         np.zeros(len(lines), dtype=bool)
         if writes is None
         else np.asarray(writes, dtype=bool)
     )
+    if engine == "fast":
+        from .fastsim import simulate_fast
+
+        return simulate_fast(config, lines, wr)
     if config.assoc == 0 or config.num_sets == 1:
         return _fully_associative(lines, wr, config.ways)
     if config.assoc == 1:

@@ -9,7 +9,9 @@ additive :class:`TimingModel`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import MutableMapping, Optional
 
 import numpy as np
 
@@ -66,15 +68,61 @@ class MemStats:
 
 
 def simulate_hierarchy(
-    trace: AccessTrace, layout: Layout, machine: MachineConfig
+    trace: AccessTrace,
+    layout: Layout,
+    machine: MachineConfig,
+    engine: Optional[str] = None,
+    timings: Optional[MutableMapping[str, float]] = None,
 ) -> MemStats:
-    """Simulate L1 -> L2 -> TLB for one (trace, layout) pair."""
+    """Simulate L1 -> L2 -> TLB for one (trace, layout) pair.
+
+    ``engine`` selects the simulation implementation (see
+    :data:`repro.memsim.cache.ENGINES`).  When ``timings`` is a mapping,
+    per-stage wall-clock seconds are accumulated into it under the keys
+    ``addresses``, ``l1``, ``l2`` and ``tlb``.
+    """
+    t0 = time.perf_counter()
     addresses = layout.addresses(trace, in_bytes=True)
-    l1_miss = simulate_cache(machine.l1, addresses)
-    l2 = simulate_cache_writeback(
-        machine.l2, addresses[l1_miss], trace.writes[l1_miss]
+    if timings is not None:
+        timings["addresses"] = (
+            timings.get("addresses", 0.0) + time.perf_counter() - t0
+        )
+    return simulate_addresses(
+        addresses, trace.writes, machine, engine=engine, timings=timings
     )
-    tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses)
+
+
+def simulate_addresses(
+    addresses: np.ndarray,
+    writes: np.ndarray,
+    machine: MachineConfig,
+    engine: Optional[str] = None,
+    timings: Optional[MutableMapping[str, float]] = None,
+) -> MemStats:
+    """Simulate the hierarchy from a pre-computed byte-address stream.
+
+    This is the entry point the trace cache uses: a cached (addresses,
+    writes) pair replays without re-tracing or re-laying-out the program.
+    """
+    clock = time.perf_counter if timings is not None else None
+
+    def _mark(stage: str, since: float) -> float:
+        now = clock()
+        timings[stage] = timings.get(stage, 0.0) + (now - since)
+        return now
+
+    t0 = clock() if clock else 0.0
+    l1_miss = simulate_cache(machine.l1, addresses, engine=engine)
+    if clock:
+        t0 = _mark("l1", t0)
+    l2 = simulate_cache_writeback(
+        machine.l2, addresses[l1_miss], writes[l1_miss], engine=engine
+    )
+    if clock:
+        t0 = _mark("l2", t0)
+    tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses, engine=engine)
+    if clock:
+        _mark("tlb", t0)
     n = len(addresses)
     n1 = int(l1_miss.sum())
     n2 = l2.misses

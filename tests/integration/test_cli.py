@@ -82,3 +82,75 @@ def test_missing_file_is_an_error(capsys):
 def test_bad_param_syntax(kernel_file):
     with pytest.raises(SystemExit):
         main(["regroup", kernel_file, "-p", "N"])
+
+
+def test_bench_engine_smoke(capsys):
+    """The fast engine must match the reference on a small program."""
+    assert (
+        main(
+            [
+                "bench-engine",
+                "adi",
+                "-p",
+                "N=40",
+                "--levels",
+                "noopt,new",
+                "--repeats",
+                "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "metrics bit-identical across engines: True" in out
+    assert "speedup" in out
+    for engine in ("fast", "reference"):
+        assert engine in out
+
+
+def test_report_with_engine_and_timings(kernel_file, capsys):
+    assert (
+        main(
+            [
+                "report",
+                kernel_file,
+                "-p",
+                "N=128",
+                "--levels",
+                "noopt,new",
+                "--engine",
+                "reference",
+                "--timings",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "trace-gen" in out and "tlb" in out
+
+
+def test_cache_subcommand(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(["cache", "--dir", str(cache_dir)]) == 0
+    assert "0 traces" in capsys.readouterr().out
+    # populate via a cached report, then inspect and clear
+    assert (
+        main(
+            [
+                "report",
+                "adi",
+                "--levels",
+                "noopt",
+                "--cache",
+                "--cache-dir",
+                str(cache_dir),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["cache", "--dir", str(cache_dir)]) == 0
+    assert "1 traces" in capsys.readouterr().out
+    assert main(["cache", "--dir", str(cache_dir), "--clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 2 entries" in out and "0 traces" in out

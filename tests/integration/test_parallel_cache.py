@@ -1,0 +1,155 @@
+"""Integration coverage for the parallel harness and the on-disk cache.
+
+Pins the determinism contract of :class:`repro.harness.ParallelRunner`
+(parallel == serial, bit for bit, in input order) and the correctness
+contract of :class:`repro.harness.TraceCache` (warm results identical,
+keys invalidate when the program or the data layout changes).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import compile_variant
+from repro.harness import (
+    ExperimentSpec,
+    ParallelRunner,
+    TraceCache,
+    layout_fingerprint,
+    machine_for,
+    measure,
+    run_application,
+)
+from repro.lang import validate
+from repro.programs import registry
+
+SMALL = {"N": 40}
+
+
+def _specs(cache_dir=None):
+    return [
+        ExperimentSpec(
+            app="adi",
+            level=level,
+            params=SMALL,
+            steps=1,
+            cache_dir=str(cache_dir) if cache_dir else None,
+        )
+        for level in ("noopt", "fusion", "new")
+    ]
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial_bit_identical(self, tmp_path):
+        serial = ParallelRunner(jobs=1).run(_specs())
+        parallel = ParallelRunner(jobs=3).run(_specs())
+        assert [r.level for r in parallel] == ["noopt", "fusion", "new"]
+        for s, p in zip(serial, parallel):
+            assert s.stats == p.stats  # MemStats is a frozen dataclass: == is exact
+            assert s.trace_length == p.trace_length
+            assert s.program == p.program and s.params == p.params
+
+    def test_parallel_workers_share_disk_cache(self, tmp_path):
+        cold = ParallelRunner(jobs=3).run(_specs(tmp_path))
+        info = TraceCache(tmp_path).info()
+        assert info["traces"] == 3 and info["results"] == 3
+        warm = ParallelRunner(jobs=3).run(_specs(tmp_path))
+        assert [r.stats for r in warm] == [r.stats for r in cold]
+
+    def test_run_application_order_and_engines(self, tmp_path):
+        fast = run_application("adi", ["noopt", "new"], params=SMALL, steps=1)
+        ref = run_application(
+            "adi", ["noopt", "new"], params=SMALL, steps=1, engine="reference"
+        )
+        assert [r.level for r in fast] == ["noopt", "new"]
+        assert [r.stats for r in fast] == [r.stats for r in ref]
+
+
+class TestTraceCache:
+    def _measure(self, cache, level="noopt", engine=None):
+        entry = registry.get("adi")
+        program = validate(entry.build())
+        return measure(
+            program,
+            level,
+            SMALL,
+            machine_for(entry.machine_spec),
+            steps=1,
+            cache=cache,
+            engine=engine,
+        )
+
+    def test_cache_hit_returns_identical_results(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cold = self._measure(cache)
+        assert "trace-gen" in cold.timings  # actually traced
+        warm = self._measure(cache)
+        assert warm.stats == cold.stats
+        assert warm.trace_length == cold.trace_length
+        assert "trace-gen" not in warm.timings  # served from disk
+
+    def test_trace_reused_across_machines_result_not(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        self._measure(cache)
+        assert cache.info() == {**cache.info(), "traces": 1, "results": 1}
+        # same trace, different engine: new result entry, same trace entry
+        self._measure(cache, engine="reference")
+        info = cache.info()
+        assert info["traces"] == 1 and info["results"] == 2
+
+    def test_layout_hash_invalidates_key(self, tmp_path):
+        entry = registry.get("adi")
+        program = validate(entry.build())
+        variant = compile_variant(program, "noopt")
+        layout = variant.layout(SMALL)
+        cache = TraceCache(tmp_path)
+        base_key = cache.trace_key(
+            str(variant.program), SMALL, 1, layout_fingerprint(layout)
+        )
+        # moving one array (regrouping would do this) must change the key
+        name, placement = next(iter(sorted(layout.placements.items())))
+        moved = dict(layout.placements)
+        moved[name] = dataclasses.replace(placement, offset=placement.offset + 1)
+        moved_layout = dataclasses.replace(layout, placements=moved)
+        assert layout_fingerprint(moved_layout) != layout_fingerprint(layout)
+        moved_key = cache.trace_key(
+            str(variant.program), SMALL, 1, layout_fingerprint(moved_layout)
+        )
+        assert moved_key != base_key
+        assert cache.load_trace(moved_key) is None
+
+    def test_program_change_invalidates_key(self, tmp_path):
+        entry = registry.get("adi")
+        program = validate(entry.build())
+        cache = TraceCache(tmp_path)
+        texts = [
+            str(compile_variant(program, level).program)
+            for level in ("noopt", "fusion")
+        ]
+        keys = {cache.trace_key(t, SMALL, 1, "same-layout") for t in texts}
+        assert len(keys) == 2
+
+    def test_clear_and_corrupt_entry(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        cold = self._measure(cache)
+        # corrupt the trace entry: must be treated as a miss, then rewritten
+        for path in tmp_path.iterdir():
+            if path.name.startswith("trace-"):
+                path.write_bytes(b"not an npz")
+        for path in tmp_path.iterdir():
+            if path.name.startswith("result-"):
+                path.unlink()
+        again = self._measure(cache)
+        assert again.stats == cold.stats
+        removed = cache.clear()
+        assert removed == cache.info()["traces"] + 2  # all entries gone
+        assert cache.info() == {"traces": 0, "results": 0, "bytes": 0}
+
+    def test_roundtrip_arrays(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        addresses = np.arange(100, dtype=np.int64) * 8
+        writes = (np.arange(100) % 3 == 0)
+        cache.store_trace("k" * 32, addresses, writes)
+        loaded = cache.load_trace("k" * 32)
+        assert np.array_equal(loaded[0], addresses)
+        assert np.array_equal(loaded[1], writes)

@@ -21,17 +21,30 @@ STEPS = 2
 
 @pytest.fixture(scope="module")
 def originals():
-    out = {}
-    for name, entry in APPLICATIONS.items():
-        p = validate(entry.build())
-        out[name] = (p, run_program(p, {"N": SIZES[name]}, steps=STEPS))
-    return out
+    """Lazy per-app originals: deselected apps (sp in tier 1) never run."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            p = validate(APPLICATIONS[name].build())
+            cache[name] = (p, run_program(p, {"N": SIZES[name]}, steps=STEPS))
+        return cache[name]
+
+    return get
+
+
+# mini-SP's 3-D traces make it by far the slowest app here; the full
+# sp x level sweep runs in tier 2 (-m slow), with a smoke version below
+APP_PARAMS = [
+    pytest.param(app, marks=pytest.mark.slow) if app == "sp" else app
+    for app in sorted(APPLICATIONS)
+]
 
 
 @pytest.mark.parametrize("level", OPT_LEVELS)
-@pytest.mark.parametrize("app", sorted(APPLICATIONS))
+@pytest.mark.parametrize("app", APP_PARAMS)
 def test_semantics_preserved(app, level, originals):
-    program, ref = originals[app]
+    program, ref = originals(app)
     variant = compile_variant(program, level)
     validate(variant.program)
     out = run_program(variant.program, {"N": SIZES[app]}, steps=STEPS)
@@ -47,9 +60,22 @@ def test_semantics_preserved(app, level, originals):
                     )
 
 
+def test_semantics_preserved_sp_smoke():
+    """Tier-1 stand-in for the slow sp sweep: one size, the combined
+    strategy (which exercises the full fusion + regrouping pipeline)."""
+    program = validate(APPLICATIONS["sp"].build())
+    ref = run_program(program, {"N": 8}, steps=1)
+    variant = compile_variant(program, "new")
+    validate(variant.program)
+    out = run_program(variant.program, {"N": 8}, steps=1)
+    for name, data in ref.items():
+        if name in out:
+            assert np.array_equal(data, out[name]), f"sp/new: {name}"
+
+
 @pytest.mark.parametrize("app", sorted(APPLICATIONS))
-def test_layouts_bijective(app, originals):
-    program, _ = originals[app]
+def test_layouts_bijective(app):
+    program = validate(APPLICATIONS[app].build())
     for level in ("noopt", "sgi", "new"):
         variant = compile_variant(program, level)
         variant.layout({"N": SIZES[app]}).check_bijective()

@@ -93,3 +93,31 @@ class TestConfig:
         assert cfg.line_bytes == 128
         assert cfg.assoc == 2
         assert cfg.size_bytes == 64 * 1024
+
+    def test_scaled_tiny_factor_clamps_to_one_set(self):
+        # factors near 0 used to yield num_lines < assoc (invalid geometry)
+        for factor in (1e-9, 1e-6, 1 / 4096, 0.001):
+            cfg = CacheConfig("L1", 32 * 1024, 32, 2).scaled(factor)
+            assert cfg.num_lines >= cfg.assoc
+            assert cfg.num_sets >= 1
+            assert cfg.num_lines % cfg.assoc == 0
+
+    def test_scaled_tiny_factor_rounds_down_to_assoc_multiple(self):
+        # 8-way, 16 lines; factor keeping ~5 lines must round to one set of 8
+        cfg = CacheConfig("c", 16 * 64, 64, 8).scaled(0.33)
+        assert cfg.num_lines == 8
+        assert cfg.num_sets == 1
+
+    def test_scaled_fully_associative_shrinks_to_one_line(self):
+        # FA caches (assoc == 0) used to clamp at their own size (ways ==
+        # num_lines) and never shrink at all
+        base = CacheConfig("fa", 64 * 32, 32, 0)
+        assert base.scaled(1 / 4).num_lines == 16
+        assert base.scaled(1e-9).num_lines == 1
+        tiny = base.scaled(1e-9)
+        assert tiny.ways == 1 and tiny.num_sets == 1
+
+    def test_scaled_direct_mapped_tiny(self):
+        cfg = CacheConfig("dm", 128 * 32, 32, 1).scaled(1e-9)
+        assert cfg.num_lines == 1
+        assert cfg.num_sets == 1

@@ -1,0 +1,91 @@
+"""Property-based oracle suite for the fast simulation engine.
+
+Two families of invariants lock the vectorized paths in
+``repro.memsim.fastsim`` to ground truth:
+
+* every fast set-associative path (direct-mapped, 2-way, and the
+  fully-associative bitmask path) must agree with the scalar ``_n_way``
+  reference — miss masks *and* write-back counts — on arbitrary
+  address/write streams;
+* the fully-associative cache must agree with the stack-distance oracle
+  ``miss_count(reuse_distances(lines), capacity)``, the LRU/stack
+  equivalence (paper §2.1) the fast path is built on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locality import reuse_distances
+from repro.locality.reuse_distance import miss_count
+from repro.memsim.cache import (
+    CacheConfig,
+    _n_way,
+    simulate_cache,
+    simulate_cache_writeback,
+)
+
+
+@st.composite
+def access_streams(draw):
+    """A (lines, writes) pair with clustered line numbers and runs."""
+    n = draw(st.integers(1, 120))
+    span = draw(st.integers(1, 60))
+    lines = draw(
+        st.lists(st.integers(0, span), min_size=n, max_size=n)
+    )
+    # splice in runs of repeats so the RLE front-end is exercised
+    repeats = draw(st.lists(st.integers(0, n - 1), max_size=8))
+    for pos in repeats:
+        run = draw(st.integers(1, 4))
+        lines[pos : pos + run] = [lines[pos]] * len(lines[pos : pos + run])
+    writes = draw(st.lists(st.booleans(), min_size=len(lines), max_size=len(lines)))
+    return np.asarray(lines, dtype=np.int64), np.asarray(writes, dtype=bool)
+
+
+CONFIGS = [
+    CacheConfig("dm", 8 * 8, 8, 1),  # direct-mapped, 8 sets
+    CacheConfig("2w", 16 * 8, 8, 2),  # 2-way, 8 sets
+    CacheConfig("2w1", 2 * 8, 8, 2),  # 2-way, single set
+    CacheConfig("fa", 4 * 8, 8, 0),  # fully associative, 4 lines
+    CacheConfig("fa1", 1 * 8, 8, 0),  # fully associative, 1 line
+    CacheConfig("4w", 16 * 8, 8, 4),  # scalar fallback path
+]
+
+
+@given(access_streams())
+@settings(max_examples=150, deadline=None)
+def test_fast_engine_matches_reference(stream):
+    lines, writes = stream
+    addresses = lines * 8
+    for config in CONFIGS:
+        ref = simulate_cache_writeback(config, addresses, writes, engine="reference")
+        fast = simulate_cache_writeback(config, addresses, writes, engine="fast")
+        assert np.array_equal(ref.miss, fast.miss), config.name
+        assert ref.writebacks == fast.writebacks, config.name
+
+
+@given(access_streams())
+@settings(max_examples=150, deadline=None)
+def test_set_assoc_paths_match_n_way(stream):
+    """_direct_mapped/_two_way (via dispatch) agree with scalar _n_way."""
+    lines, writes = stream
+    for assoc, num_sets in ((1, 8), (2, 8), (2, 4)):
+        config = CacheConfig("c", num_sets * assoc * 8, 8, assoc)
+        oracle = _n_way(lines, writes, num_sets, assoc)
+        for engine in ("fast", "reference"):
+            got = simulate_cache_writeback(config, lines * 8, writes, engine=engine)
+            assert np.array_equal(oracle.miss, got.miss), (assoc, engine)
+            assert oracle.writebacks == got.writebacks, (assoc, engine)
+
+
+@given(access_streams(), st.integers(1, 40))
+@settings(max_examples=150, deadline=None)
+def test_fully_associative_matches_stack_distance(stream, capacity):
+    """FA LRU miss count == Olken stack-distance oracle, both engines."""
+    lines, _ = stream
+    config = CacheConfig("fa", capacity * 8, 8, 0)
+    expected = miss_count(reuse_distances(lines), capacity)
+    for engine in ("fast", "reference"):
+        miss = simulate_cache(config, lines * 8, engine=engine)
+        assert int(miss.sum()) == expected, engine

@@ -14,7 +14,7 @@ Two views are provided:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import networkx as nx
 

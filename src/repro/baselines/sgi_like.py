@@ -19,7 +19,7 @@ This stand-in therefore performs:
 
 from __future__ import annotations
 
-from ..core.fusion import FusionOptions, fuse_program
+from ..core.fusion import FusionOptions
 from ..core.pipeline import CompiledVariant
 from ..core.regroup import padded_layout
 from ..lang import Program, validate

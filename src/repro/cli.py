@@ -12,7 +12,11 @@ Subcommands:
 * ``apps``           — list the bundled benchmark applications;
 * ``bench-engine``   — time the fast vs. reference simulation engines on
   one application and assert their metrics are bit-identical;
-* ``cache``          — inspect or clear the on-disk trace/result cache.
+* ``cache``          — inspect or clear the on-disk trace/result cache;
+* ``lint``           — static IR verification of a program (structure,
+  loop bounds, subscript bounds, def-use hygiene);
+* ``verify-pass``    — certify that every pass of an optimization level
+  preserves the program's dependence structure.
 
 Examples::
 
@@ -21,6 +25,9 @@ Examples::
     python -m repro report adi --levels noopt,fusion,new
     python -m repro bench-engine adi
     python -m repro cache --clear
+    python -m repro lint kernel.loop --json
+    python -m repro verify-pass adi --level new
+    python -m repro verify-pass --before a.loop --after b.loop
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from .lang import Program, ReproError, parse, to_source, validate
 from .memsim import ENGINES, simulate_addresses
 from .programs import APPLICATIONS, registry
 from .programs.registry import MachineSpec
+from .verify import PassLegalityError, PassVerifier, Severity, lint_program, verify_pass
 
 
 def _load_program(path: str) -> Program:
@@ -93,7 +101,9 @@ def cmd_regroup(args: argparse.Namespace) -> int:
 
 def cmd_report(args: argparse.Namespace) -> int:
     levels = args.levels.split(",")
-    unknown = [l for l in levels if l not in OPT_LEVELS and not l.endswith("+regroup")]
+    unknown = [
+        lv for lv in levels if lv not in OPT_LEVELS and not lv.endswith("+regroup")
+    ]
     if unknown:
         raise SystemExit(f"unknown levels: {unknown}; see 'repro levels'")
     cache = TraceCache(args.cache_dir) if args.cache else None
@@ -190,6 +200,112 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _load_target(target: str) -> Program:
+    """A registry application name or a mini-language source file."""
+    try:
+        return validate(registry.get(target).build())
+    except KeyError:
+        return _load_program(target)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.self_check:
+        # "repro lint --self" = lint the compiler itself, not a program:
+        # delegate to ruff (configured in pyproject.toml) when available
+        import subprocess
+
+        try:
+            import ruff  # noqa: F401
+        except ImportError:
+            print(
+                "ruff is not installed; install it and run 'ruff check .'\n"
+                "(rules are configured under [tool.ruff] in pyproject.toml)",
+                file=sys.stderr,
+            )
+            return 0
+        return subprocess.call([sys.executable, "-m", "ruff", "check", "."])
+    if not args.target:
+        raise SystemExit("lint needs a program (file or app name), or --self")
+    program = _load_target(args.target)
+    bag = lint_program(program, assume=args.assume)
+    if args.json:
+        print(bag.to_json(program=program.name))
+    else:
+        print(f"lint {program.name}:")
+        print(bag.render())
+    if bag.has_errors():
+        return 1
+    if args.strict and bag.warnings:
+        return 1
+    return 0
+
+
+def cmd_verify_pass(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param) or None
+    if args.before or args.after:
+        if not (args.before and args.after):
+            raise SystemExit("--before and --after must be given together")
+        before = _load_program(args.before)
+        after = _load_program(args.after)
+        bag = verify_pass(
+            before, after,
+            pass_name=args.pass_name, params=params, steps=args.steps,
+        )
+        if args.json:
+            print(bag.to_json(before=before.name, after=after.name,
+                              certified=not bag.has_errors()))
+        elif bag.has_errors():
+            print(f"ILLEGAL: {args.pass_name} broke the dependence structure")
+            print(bag.render(min_severity=Severity.ERROR))
+        else:
+            print(
+                f"certified: {args.pass_name} preserves all dependences "
+                f"({before.name} -> {after.name})"
+            )
+        return 1 if bag.has_errors() else 0
+
+    targets = [args.target] if args.target else sorted(APPLICATIONS)
+    levels = args.levels.split(",")
+    results: list[dict[str, object]] = []
+    failures = 0
+    for target in targets:
+        program = _load_target(target)
+        for level in levels:
+            verifier = PassVerifier(program, params, steps=args.steps)
+            try:
+                compile_variant(program, level, verify=verifier)
+                error = None
+            except PassLegalityError as exc:
+                failures += 1
+                error = exc
+            passes = [name for name, _ in verifier.history]
+            results.append({
+                "program": program.name,
+                "level": level,
+                "passes": passes,
+                "certified": error is None,
+                "diagnostics": (
+                    [d.to_json() for d in error.bag] if error else []
+                ),
+            })
+            if not args.json:
+                if error is None:
+                    print(
+                        f"ok {program.name}/{level}: "
+                        f"{len(passes)} pass(es) certified "
+                        f"({', '.join(passes) or 'none'})"
+                    )
+                else:
+                    broken = passes[-1] if passes else level
+                    print(f"ILLEGAL {program.name}/{level}: pass {broken!r}")
+                    print(error.bag.render(min_severity=Severity.ERROR))
+    if args.json:
+        import json as _json
+
+        print(_json.dumps({"results": results, "failures": failures}, indent=2))
+    return 1 if failures else 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     cache = TraceCache(args.dir)
     if args.clear:
@@ -280,6 +396,46 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dir", default=None, help="cache directory (default .cache)")
     cache.add_argument("--clear", action="store_true")
     cache.set_defaults(fn=cmd_cache)
+
+    lint = sub.add_parser(
+        "lint", help="static IR verification of a program"
+    )
+    lint.add_argument(
+        "target", nargs="?", help="registry app name or source file"
+    )
+    lint.add_argument("--json", action="store_true", help="JSON output")
+    lint.add_argument(
+        "--strict", action="store_true", help="warnings also fail (exit 1)"
+    )
+    lint.add_argument(
+        "--assume", type=int, default=None, metavar="MIN",
+        help="assumed parameter lower bound for symbolic checks (default 8)",
+    )
+    lint.add_argument(
+        "--self", dest="self_check", action="store_true",
+        help="lint the compiler's own sources via ruff instead",
+    )
+    lint.set_defaults(fn=cmd_lint)
+
+    verify = sub.add_parser(
+        "verify-pass",
+        help="certify that optimization passes preserve all dependences",
+    )
+    verify.add_argument(
+        "target", nargs="?",
+        help="registry app name or source file (default: all apps)",
+    )
+    verify.add_argument("--levels", default="new", help="comma-separated levels")
+    verify.add_argument("-p", "--param", action="append", metavar="NAME=INT",
+                        help="snapshot parameters (default: 8 for each)")
+    verify.add_argument("--steps", type=int, default=1,
+                        help="body repetitions in the snapshot")
+    verify.add_argument("--before", help="original source file")
+    verify.add_argument("--after", help="transformed source file")
+    verify.add_argument("--pass-name", default="transform",
+                        help="label for --before/--after mode")
+    verify.add_argument("--json", action="store_true", help="JSON output")
+    verify.set_defaults(fn=cmd_verify_pass)
 
     levels = sub.add_parser("levels", help="list optimization levels")
     levels.set_defaults(fn=cmd_levels)

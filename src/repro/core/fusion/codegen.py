@@ -26,7 +26,6 @@ from ...lang import (
     Affine,
     DEFAULT_PARAM_MIN,
     Guard,
-    IndexVar,
     Interval,
     Loop,
     Stmt,
@@ -34,7 +33,7 @@ from ...lang import (
     affine_expr,
 )
 from ...transform.subst import FreshNames, bound_names, rename_bound, subst_stmt
-from .unit import Embed, FusionUnit, Member
+from .unit import FusionUnit, Member
 
 
 class _Incomparable(Exception):

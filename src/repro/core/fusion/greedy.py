@@ -30,7 +30,7 @@ from ...analysis import (
     embed_before,
     shares_data,
 )
-from ...lang import Affine, Assumptions, DEFAULT_PARAM_MIN, Loop, Stmt
+from ...lang import Assumptions, DEFAULT_PARAM_MIN, Loop, Stmt
 from ...transform.subst import FreshNames
 from .codegen import peel_iterations, unit_to_stmts
 from .unit import FusionUnit

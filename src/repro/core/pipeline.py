@@ -21,9 +21,10 @@ counts — §4.4's structural numbers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional
+from typing import Callable, Mapping, Optional, Union
 
 from ..lang import Program, TransformError, validate
+from ..verify import PassVerifier
 from ..transform import (
     distribute_loops,
     inline_procedures,
@@ -38,7 +39,6 @@ from .regroup import (
     RegroupOptions,
     RegroupPlan,
     default_layout,
-    padded_layout,
     regroup_plan,
 )
 
@@ -63,21 +63,32 @@ class CompiledVariant:
 
 
 def preliminary(
-    program: Program, max_unroll: int = 5, distribute: bool = True
+    program: Program,
+    max_unroll: int = 5,
+    distribute: bool = True,
+    verifier: Optional[PassVerifier] = None,
 ) -> Program:
     """§4.1 preliminary passes: inline, unroll+split, distribute, constprop.
 
     ``distribute=False`` skips maximal loop distribution — used by the
     regroup-only ablation, which should regroup the *original* loop
-    structure rather than a scattered one.
+    structure rather than a scattered one.  A ``verifier`` certifies
+    every pass in turn (raising :class:`~repro.verify.PassLegalityError`
+    on the first broken dependence).
     """
-    p = inline_procedures(program)
-    p = unroll_small_loops(p, max_unroll)
-    p = split_arrays(p, max_unroll)
+
+    def checked(name: str, result: Program) -> Program:
+        if verifier is not None:
+            verifier.check(name, result)
+        return result
+
+    p = checked("inline", inline_procedures(program))
+    p = checked("unroll", unroll_small_loops(p, max_unroll))
+    p = checked("split_arrays", split_arrays(p, max_unroll))
     if distribute:
-        p = distribute_loops(p)
-    p = propagate_scalar_constants(p)
-    p = simplify_program(p)
+        p = checked("distribute", distribute_loops(p))
+    p = checked("constprop", propagate_scalar_constants(p))
+    p = checked("simplify", simplify_program(p))
     return validate(p)
 
 
@@ -87,28 +98,66 @@ def compile_variant(
     fusion_options: Optional[FusionOptions] = None,
     regroup_options: Optional[RegroupOptions] = None,
     max_unroll: int = 5,
+    verify: Union[bool, PassVerifier] = False,
+    verify_params: Optional[Mapping[str, int]] = None,
 ) -> CompiledVariant:
-    """Compile ``program`` at optimization level ``level``."""
+    """Compile ``program`` at optimization level ``level``.
+
+    ``verify=True`` runs the pass-legality checker after every pass: the
+    program is snapshotted at small concrete parameters
+    (``verify_params``, default 8 for every parameter) and every
+    dependence must be preserved stage to stage; a violation raises
+    :class:`~repro.verify.PassLegalityError` naming the offending pass
+    and dependence edge.  Passing a :class:`~repro.verify.PassVerifier`
+    instance instead lets the caller inspect its per-pass ``history``
+    afterwards (the CLI's ``verify-pass`` does).  Verification inspects
+    only the *program* — layouts (regrouping, padding) relocate data
+    without reordering accesses, so they need no certification.
+    """
     stages: dict[str, dict] = {"input": program.stats()}
+    if isinstance(verify, PassVerifier):
+        verifier: Optional[PassVerifier] = verify
+    else:
+        verifier = PassVerifier(program, verify_params) if verify else None
     if level == "noopt":
-        p = validate(simplify_program(inline_procedures(program)))
+        p = inline_procedures(program)
+        if verifier is not None:
+            verifier.check("inline", p)
+        p = simplify_program(p)
+        if verifier is not None:
+            verifier.check("simplify", p)
+        p = validate(p)
         return CompiledVariant(level, p, lambda params: default_layout(p, params), stages=stages)
     if level == "sgi":
         from ..baselines.sgi_like import sgi_compile
 
-        return sgi_compile(program, stages)
+        variant = sgi_compile(program, stages)
+        if verifier is not None:
+            # baseline compilers run their own pass mix; certify them
+            # end to end (relaxed: they rewrite arithmetic like simplify)
+            verifier.check(level, variant.program, strict=False)
+        return variant
     if level == "mckinley":
         from ..baselines.mckinley import mckinley_compile
 
-        return mckinley_compile(program, stages)
+        variant = mckinley_compile(program, stages)
+        if verifier is not None:
+            verifier.check(level, variant.program, strict=False)
+        return variant
 
-    p = preliminary(program, max_unroll, distribute=level != "regroup")
+    p = preliminary(program, max_unroll, distribute=level != "regroup",
+                    verifier=verifier)
     stages["preliminary"] = p.stats()
 
     if level in ("fusion", "fusion1", "new") or level.startswith("fusion"):
         max_levels = 1 if level.startswith("fusion1") else 8
         p, report = fuse_program(p, max_levels=max_levels, options=fusion_options)
-        p = validate(simplify_program(p))
+        if verifier is not None:
+            verifier.check("fusion", p)
+        p = simplify_program(p)
+        if verifier is not None:
+            verifier.check("simplify", p)
+        p = validate(p)
         stages["fused"] = p.stats()
     else:
         report = None

@@ -21,10 +21,9 @@ and small wrap loops must not break up otherwise always-together arrays.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from ...lang import (
-    Affine,
     ArrayRef,
     Assign,
     Guard,

@@ -22,7 +22,6 @@ reported in the result.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from ...lang import (
     ArrayDecl,
@@ -35,7 +34,6 @@ from ...lang import (
     Guard,
     Loop,
     Program,
-    ScalarRef,
     Stmt,
     UnaryOp,
 )

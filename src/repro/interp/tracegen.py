@@ -15,7 +15,7 @@ dimension is a handful of vectorized ops rather than a Python-level eval.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence, Union
+from typing import Mapping, Sequence, Union
 
 import numpy as np
 

@@ -30,8 +30,50 @@ class ParseError(LangError):
         super().__init__(message)
 
 
+class ValidationIssue:
+    """One structural problem: a path-like location plus a message.
+
+    Collected (rather than raised one at a time) by
+    :func:`repro.lang.validate.validation_issues`, and reused as the
+    payload of verifier diagnostics so lint output and exceptions agree.
+    """
+
+    __slots__ = ("where", "message")
+
+    def __init__(self, where: str, message: str) -> None:
+        self.where = where
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.message}"
+
+    def __repr__(self) -> str:
+        return f"ValidationIssue({self.where!r}, {self.message!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ValidationIssue)
+            and self.where == other.where
+            and self.message == other.message
+        )
+
+
 class ValidationError(LangError):
-    """Raised when a structurally invalid program is validated or executed."""
+    """Raised when a structurally invalid program is validated or executed.
+
+    ``issues`` carries every problem found (validation no longer stops at
+    the first error); the exception message lists them all.
+    """
+
+    def __init__(self, message: str, issues: tuple = ()) -> None:
+        self.issues: tuple[ValidationIssue, ...] = tuple(issues)
+        super().__init__(message)
+
+    @staticmethod
+    def from_issues(program_name: str, issues: tuple) -> "ValidationError":
+        lines = [f"{program_name}: {len(issues)} validation error(s)"]
+        lines.extend(f"  {issue}" for issue in issues)
+        return ValidationError("\n".join(lines), issues)
 
 
 class AnalysisError(ReproError):

@@ -23,7 +23,6 @@ formal) before use so typos fail loudly at parse time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from .errors import ParseError
 from .expr import (

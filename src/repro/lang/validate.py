@@ -9,17 +9,21 @@
 * loop indices do not shadow parameters, arrays, or outer indices;
 * guard variables are loop indices in scope.
 
-It raises :class:`ValidationError` with a path-like description of where
-the problem sits, and is cheap enough to run after every transformation
-(the integration tests do exactly that).
+All problems are collected — validation does not stop at the first error —
+and raised together as a :class:`ValidationError` whose ``issues`` tuple
+carries one :class:`ValidationIssue` (path-like location + message) per
+problem.  ``validation_issues`` returns the same list without raising,
+which is what the :mod:`repro.verify` lint framework builds on.  Both are
+cheap enough to run after every transformation (the integration tests do
+exactly that).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from .errors import NotAffineError, ValidationError
-from .expr import ArrayRef, Call, Const, Expr, IndexVar, Param, ScalarRef
+from .errors import NotAffineError, ValidationError, ValidationIssue
+from .expr import ArrayRef, Expr, IndexVar, Param, ScalarRef
 from .program import Program
 from .stmt import Assign, CallStmt, Guard, Loop, Stmt
 
@@ -31,9 +35,10 @@ class _Checker:
         self.scalars = set(program.scalars)
         self.arrays = {a.name: a for a in program.arrays}
         self.index_scope: list[str] = []
+        self.issues: list[ValidationIssue] = []
 
     def fail(self, where: str, message: str) -> None:
-        raise ValidationError(f"{self.program.name}: {where}: {message}")
+        self.issues.append(ValidationIssue(where, message))
 
     # -- expressions ----------------------------------------------------------
 
@@ -79,8 +84,6 @@ class _Checker:
     def check_stmt(self, stmt: Stmt, where: str) -> None:
         if isinstance(stmt, Assign):
             self.check_expr(stmt.target, f"{where} lhs")
-            if isinstance(stmt.target, Const):
-                self.fail(where, "cannot assign to a constant")
             self.check_expr(stmt.expr, f"{where} rhs")
         elif isinstance(stmt, Loop):
             if stmt.index in self.params:
@@ -110,13 +113,14 @@ class _Checker:
             names = {p.name for p in self.program.procedures}
             if stmt.proc not in names:
                 self.fail(where, f"call to undeclared procedure {stmt.proc!r}")
-            proc = self.program.procedure(stmt.proc)
-            if len(stmt.args) != len(proc.formals):
-                self.fail(
-                    where,
-                    f"procedure {stmt.proc!r} takes {len(proc.formals)} args, "
-                    f"got {len(stmt.args)}",
-                )
+            else:
+                proc = self.program.procedure(stmt.proc)
+                if len(stmt.args) != len(proc.formals):
+                    self.fail(
+                        where,
+                        f"procedure {stmt.proc!r} takes {len(proc.formals)} args, "
+                        f"got {len(stmt.args)}",
+                    )
             for a in stmt.args:
                 self.check_expr(a, f"{where} arg")
         else:
@@ -126,7 +130,7 @@ class _Checker:
         for k, stmt in enumerate(body):
             self.check_stmt(stmt, f"{where}[{k}]")
 
-    def run(self) -> None:
+    def run(self) -> list[ValidationIssue]:
         overlap = self.params & set(self.arrays)
         if overlap:
             self.fail("decls", f"names declared as both param and array: {overlap}")
@@ -138,9 +142,21 @@ class _Checker:
             self.check_body(proc.body, f"proc {proc.name}")
             del self.index_scope[len(self.index_scope) - len(proc.formals):]
         self.check_body(self.program.body, "body")
+        return self.issues
+
+
+def validation_issues(program: Program) -> list[ValidationIssue]:
+    """All structural problems in ``program`` (empty when valid)."""
+    return _Checker(program).run()
 
 
 def validate(program: Program) -> Program:
-    """Validate structural invariants; returns the program for chaining."""
-    _Checker(program).run()
+    """Validate structural invariants; returns the program for chaining.
+
+    Raises :class:`ValidationError` carrying *every* problem found, not
+    just the first.
+    """
+    issues = validation_issues(program)
+    if issues:
+        raise ValidationError.from_issues(program.name, tuple(issues))
     return program

@@ -8,7 +8,7 @@ paper-vs-ours side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Mapping, Optional
 
 from ..lang import Program

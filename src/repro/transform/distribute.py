@@ -9,7 +9,6 @@ fusion rebuilds exactly the groupings that pay off.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import networkx as nx
 

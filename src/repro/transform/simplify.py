@@ -10,7 +10,6 @@ constant propagation the paper applies to loop statements.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
 
 from ..lang import (
     ArrayRef,

@@ -19,7 +19,6 @@ from ..lang import (
     Assign,
     BinOp,
     Call,
-    Const,
     Expr,
     Guard,
     Loop,

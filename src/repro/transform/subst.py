@@ -31,7 +31,6 @@ from ..lang import (
     Stmt,
     TransformError,
     UnaryOp,
-    affine_expr,
 )
 
 

@@ -1,8 +1,7 @@
 """Fused-loop code generation tests (segmented + guarded emitters)."""
 
 from repro.core.fusion import FusionUnit, unit_to_stmts
-from repro.core.fusion.unit import Embed, Member
-from repro.lang import Affine, Guard, Loop, parse, validate
+from repro.lang import Affine, Guard, Loop, validate
 from repro.transform.subst import FreshNames
 
 from conftest import assert_same_semantics, build

@@ -1,9 +1,8 @@
 """Reuse-based fusion tests: the Fig. 4/6 behaviours end to end."""
 
-import pytest
 
 from repro.core.fusion import FusionOptions, fuse_program
-from repro.lang import Loop, to_source, validate
+from repro.lang import validate
 
 from conftest import assert_same_semantics, build
 
@@ -95,7 +94,7 @@ def test_multilevel_fusion(stencil_2d):
 def test_max_levels_one_keeps_inner_loops(stencil_2d):
     fused, report = fused_of(stencil_2d, max_levels=1)
     assert_same_semantics(stencil_2d, fused)
-    assert len([l for l in report.levels if l.events]) == 1
+    assert len([lv for lv in report.levels if lv.events]) == 1
 
 
 def test_embedding_disabled():

@@ -1,8 +1,7 @@
 """FusionUnit mechanics and multi-level report tests."""
 
 from repro.core.fusion import FusionUnit, fuse_program
-from repro.core.fusion.unit import Embed, Member
-from repro.lang import Affine, Loop, validate
+from repro.lang import Affine, validate
 
 from conftest import build
 

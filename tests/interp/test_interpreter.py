@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.interp import Interpreter, run_program
-from repro.lang import ValidationError, parse, validate
+from repro.interp import run_program
+from repro.lang import ValidationError, parse
 
 from conftest import build
 

@@ -4,8 +4,6 @@ import pytest
 
 from repro.lang import (
     Affine,
-    IndexVar,
-    Param,
     ProgramBuilder,
     ValidationError,
     affine_expr,

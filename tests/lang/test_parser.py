@@ -6,7 +6,6 @@ from repro.lang import (
     ArrayRef,
     Assign,
     Call,
-    Const,
     Guard,
     Loop,
     ParseError,

@@ -61,3 +61,23 @@ def test_source_is_readable():
     text = to_source(p)
     assert "program adi" in text
     assert "for i" in text or "for j" in text
+
+
+# -- round-trip is preserved by every compiler pass ---------------------------
+#
+# The printer/parser pair must be lossless not just for hand-written
+# sources but for everything the passes emit: guarded fusion output,
+# peel loops, split arrays, negative alignment shifts.  parse(print(p))
+# must reproduce the exact AST at every optimization level.
+
+from repro.core import OPT_LEVELS, compile_variant  # noqa: E402
+from repro.programs import registry  # noqa: E402
+
+ALL_BENCHMARKS = sorted(set(registry.APPLICATIONS) | set(registry.STUDY_PROGRAMS))
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+@pytest.mark.parametrize("level", OPT_LEVELS)
+def test_every_pass_output_round_trips(name, level):
+    p = compile_variant(registry.get(name).build(), level).program
+    assert validate(parse(to_source(p))) == p

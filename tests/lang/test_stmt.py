@@ -8,7 +8,6 @@ from repro.lang import (
     Const,
     Guard,
     Interval,
-    Loop,
     ValidationError,
     loop_nest_depth,
     loops_in,

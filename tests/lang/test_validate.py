@@ -13,8 +13,10 @@ from repro.lang import (
     Program,
     ScalarRef,
     ValidationError,
+    ValidationIssue,
     parse,
     validate,
+    validation_issues,
 )
 
 
@@ -108,3 +110,77 @@ def test_nonaffine_subscript_rejected():
     bad_body = (Loop("i", Const(1), Param("N"), (Assign(a_ref(i * i), Const(0.0)),)),)
     with pytest.raises(ValidationError, match="not affine"):
         validate(p.with_body(bad_body))
+
+
+# -- collect-all behavior -----------------------------------------------------
+
+
+def _many_problems() -> Program:
+    """A program with four independent structural errors."""
+    i = IndexVar("i")
+    body = (
+        Assign(ArrayRef("Z", (Const(1),)), Const(0.0)),  # undeclared array
+        Assign(ScalarRef("t"), Const(0.0)),  # undeclared scalar
+        Loop(
+            "i",
+            Const(1),
+            Param("N"),
+            (
+                Assign(a_ref(i * i), Const(0.0)),  # non-affine subscript
+                Assign(ArrayRef("A", (i, i)), Const(0.0)),  # wrong arity
+            ),
+        ),
+    )
+    return _prog(body)
+
+
+def test_all_errors_collected_not_just_first():
+    issues = validation_issues(_many_problems())
+    messages = [issue.message for issue in issues]
+    assert len(issues) == 4
+    assert any("undeclared array 'Z'" in m for m in messages)
+    assert any("undeclared scalar 't'" in m for m in messages)
+    assert any("not affine" in m for m in messages)
+    assert any("has 1 dims" in m for m in messages)
+
+
+def test_issue_locations_are_path_like():
+    issues = validation_issues(_many_problems())
+    wheres = [issue.where for issue in issues]
+    assert wheres[0].startswith("body[0]")
+    assert any("/for i" in w for w in wheres)
+
+
+def test_validation_error_carries_all_issues():
+    with pytest.raises(ValidationError) as exc:
+        validate(_many_problems())
+    err = exc.value
+    assert len(err.issues) == 4
+    assert all(isinstance(issue, ValidationIssue) for issue in err.issues)
+    # the message lists every problem, one per line
+    assert "4 validation error(s)" in str(err)
+    assert str(err).count("\n") == 4
+
+
+def test_valid_program_has_no_issues():
+    p = _prog(
+        [Loop("i", Const(1), Param("N"), (Assign(a_ref(IndexVar("i")), Const(0.0)),))]
+    )
+    assert validation_issues(p) == []
+
+
+def test_issue_equality_and_repr():
+    a = ValidationIssue("body[0]", "boom")
+    b = ValidationIssue("body[0]", "boom")
+    assert a == b
+    assert a != ValidationIssue("body[1]", "boom")
+    assert str(a) == "body[0]: boom"
+    assert "boom" in repr(a)
+
+
+def test_undeclared_procedure_does_not_crash_arity_check():
+    from repro.lang import CallStmt
+
+    p = _prog([CallStmt("nosuch", (Const(1),))])
+    issues = validation_issues(p)
+    assert any("undeclared procedure" in issue.message for issue in issues)

@@ -1,13 +1,10 @@
 """Whole-hierarchy simulation and timing-model tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.regroup import default_layout
 from repro.interp import trace_program
 from repro.memsim import (
-    MachineConfig,
-    TimingModel,
     octane,
     origin2000,
     scaled_machine,

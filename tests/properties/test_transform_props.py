@@ -20,7 +20,7 @@ from repro.lang import (
     Program,
     validate,
 )
-from repro.transform import distribute_loops, simplify_program, unroll_small_loops
+from repro.transform import distribute_loops, simplify_program
 
 ARRAYS = ["A", "B", "C"]
 

@@ -1,6 +1,5 @@
 """Layout engine tests: address translation must be exact and vectorized."""
 
-import numpy as np
 import pytest
 
 from repro.core.regroup import default_layout, regroup_plan

@@ -1,10 +1,8 @@
 """Preliminary transformation tests (§4.1)."""
 
-import numpy as np
 import pytest
 
-from repro.interp import run_program
-from repro.lang import Guard, Loop, TransformError, parse, validate
+from repro.lang import TransformError, parse
 from repro.transform import (
     distribute_loops,
     inline_procedures,

@@ -7,15 +7,12 @@ from repro.lang import (
     Const,
     Guard,
     IndexVar,
-    Loop,
     TransformError,
-    parse,
 )
 from repro.transform.subst import (
     FreshNames,
     bound_names,
     rename_bound,
-    subst_expr,
     subst_stmt,
 )
 

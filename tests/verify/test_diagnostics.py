@@ -1,0 +1,96 @@
+"""Diagnostic records, bags, rendering, and the exception bridge."""
+
+import json
+
+import pytest
+
+from repro.lang import ValidationError, ValidationIssue
+from repro.verify import (
+    DiagnosticBag,
+    PassLegalityError,
+    Severity,
+    VerificationError,
+)
+
+
+def test_add_and_query():
+    bag = DiagnosticBag()
+    bag.error("V001", "broken", where="body[0]")
+    bag.warning("V104", "suspicious")
+    bag.info("V204", "observation")
+    assert len(bag) == 3
+    assert bag.has_errors()
+    assert [d.code for d in bag.errors] == ["V001"]
+    assert [d.code for d in bag.warnings] == ["V104"]
+    assert bag.counts() == {"error": 1, "warning": 1, "info": 1}
+
+
+def test_render_orders_and_counts():
+    bag = DiagnosticBag()
+    bag.error("L101", "flow violated", where="A[2]", stmt="A[i] = B[i]",
+              kind="flow", element="A[2]")
+    text = bag.render()
+    assert "error[L101] A[2]: flow violated" in text
+    assert "in: A[i] = B[i]" in text
+    assert "kind: flow" in text
+    assert "1 error(s), 0 warning(s), 0 info" in text
+
+
+def test_render_empty_bag():
+    assert "clean" in DiagnosticBag().render()
+
+
+def test_render_min_severity_filters():
+    bag = DiagnosticBag()
+    bag.info("V204", "just so you know")
+    assert "V204" not in bag.render(min_severity=Severity.WARNING)
+    assert "V204" in bag.render(min_severity=Severity.INFO)
+
+
+def test_json_round_trips():
+    bag = DiagnosticBag()
+    bag.error("L103", "lost writes", where="C[1]", stmt="C[i] = 0.0",
+              count=3)
+    payload = json.loads(bag.to_json(program="adi"))
+    assert payload["program"] == "adi"
+    assert payload["counts"]["error"] == 1
+    (diag,) = payload["diagnostics"]
+    assert diag["code"] == "L103"
+    assert diag["severity"] == "error"
+    assert diag["details"]["count"] == "3"
+
+
+def test_add_issue_wraps_validation_issue():
+    bag = DiagnosticBag()
+    bag.add_issue(ValidationIssue("body[2]", "undeclared array 'Z'"))
+    (diag,) = bag.errors
+    assert diag.code == "V001"
+    assert diag.where == "body[2]"
+
+
+def test_raise_if_errors():
+    bag = DiagnosticBag()
+    bag.warning("V104", "only a warning")
+    bag.raise_if_errors()  # warnings never raise
+
+    bag.error("L101", "flow violated on A[2]")
+    with pytest.raises(VerificationError, match="flow violated on A"):
+        bag.raise_if_errors("pass 'fuse'")
+
+
+def test_verification_error_is_a_validation_error():
+    bag = DiagnosticBag()
+    bag.error("L101", "boom", where="A[1]")
+    err = VerificationError.from_bag("ctx", bag)
+    assert isinstance(err, ValidationError)
+    assert err.bag is bag
+    assert err.issues and err.issues[0].message == "boom"
+    assert issubclass(PassLegalityError, VerificationError)
+
+
+def test_extend_merges_bags():
+    a, b = DiagnosticBag(), DiagnosticBag()
+    a.error("V001", "x")
+    b.info("V204", "y")
+    a.extend(b)
+    assert [d.code for d in a] == ["V001", "V204"]

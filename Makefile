@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test self-lint benchmarks
+
+check: lint test self-lint
+
+# ruff is optional in minimal environments; skip (loudly) when absent
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed; skipping style lint (pip install ruff)"; \
+	fi
+
+# tier-1: everything but the trace-heavy slow markers
+test:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# the repo's own lint front door (delegates to ruff when available)
+self-lint:
+	$(PYTHON) -m repro lint --self
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -8,7 +8,8 @@ We measure execution time (normalized to the original) for fusion-only,
 regrouping-only, and the combined strategy across all four applications.
 """
 
-from repro.harness import default_cache_dir, format_table, run_application
+from repro.harness import RunRequest, default_cache_dir, format_table
+from repro.harness import run as run_experiment
 
 
 def run():
@@ -18,7 +19,14 @@ def run():
     for app in ("swim", "tomcatv", "adi", "sp"):
         res = {
             r.level: r
-            for r in run_application(app, levels, cache_dir=str(default_cache_dir()))
+            for r in run_experiment(
+                RunRequest(
+                    program=app,
+                    levels=levels,
+                    cache=default_cache_dir(),
+                    jobs=None,  # one worker per CPU
+                )
+            )
         }
         base = res["noopt"].stats
         norm = {

@@ -11,7 +11,8 @@ We compare three regrouping configurations on the fused programs:
 """
 
 from repro.core.regroup import RegroupOptions
-from repro.harness import format_table, measure_application
+from repro.harness import RunRequest, format_table
+from repro.harness import run as run_experiment
 
 CONFIGS = {
     "element-only": RegroupOptions(max_level=0),
@@ -24,10 +25,12 @@ def run():
     rows = []
     collected = {}
     for app in ("tomcatv", "sp"):
-        base = measure_application(app, ["noopt"])[0]
+        base = run_experiment(RunRequest(program=app, levels=("noopt",)))[0]
         row = [app]
         for label, options in CONFIGS.items():
-            res = measure_application(app, ["new"], regroup_options=options)[0]
+            res = run_experiment(
+                RunRequest(program=app, levels=("new",), regroup_options=options)
+            )[0]
             norm = res.stats.normalized_to(base.stats)
             collected[(app, label)] = norm
             row.append(f"{norm['time']:.3f}")

@@ -19,12 +19,13 @@ import pytest
 from repro.harness import (
     NORMALIZED_HEADERS,
     TIMING_HEADERS,
+    RunRequest,
     default_cache_dir,
     format_table,
     normalized_rows,
-    run_application,
     timing_rows,
 )
+from repro.harness import run as run_experiment
 
 LEVELS = {
     "swim": ["noopt", "fusion", "new"],
@@ -42,10 +43,15 @@ PAPER_NOTES = {
 
 
 def run(app):
-    # shared parallel runner + on-disk trace cache (warm repeats replay)
-    results = run_application(
-        app, LEVELS[app], cache_dir=str(default_cache_dir())
-    )
+    # parallel workers + on-disk trace cache (warm repeats replay)
+    results = run_experiment(
+        RunRequest(
+            program=app,
+            levels=LEVELS[app],
+            cache=default_cache_dir(),
+            jobs=None,  # one worker per CPU
+        )
+    ).records()
     table = format_table(
         NORMALIZED_HEADERS,
         normalized_rows(results),

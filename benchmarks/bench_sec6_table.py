@@ -9,11 +9,12 @@ average improvement factors.
 """
 
 from repro.harness import (
+    RunRequest,
     default_cache_dir,
     format_table,
     geometric_mean,
-    run_application,
 )
+from repro.harness import run as run_experiment
 
 APPS = ("swim", "tomcatv", "adi", "sp")
 
@@ -24,8 +25,13 @@ def run():
     for app in APPS:
         res = {
             r.level: r
-            for r in run_application(
-                app, ["noopt", "sgi", "new"], cache_dir=str(default_cache_dir())
+            for r in run_experiment(
+                RunRequest(
+                    program=app,
+                    levels=("noopt", "sgi", "new"),
+                    cache=default_cache_dir(),
+                    jobs=None,  # one worker per CPU
+                )
             )
         }
         noopt, sgi, new = res["noopt"].stats, res["sgi"].stats, res["new"].stats

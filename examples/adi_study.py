@@ -14,9 +14,10 @@ Run:  python examples/adi_study.py
 from repro.core import compile_variant
 from repro.harness import (
     NORMALIZED_HEADERS,
+    RunRequest,
     format_table,
-    measure_application,
     normalized_rows,
+    run,
 )
 from repro.interp import trace_program
 from repro.lang import to_source, validate
@@ -47,7 +48,7 @@ def transformation_study() -> None:
     print("regrouping:", fused.regroup.describe().replace("\n", " / "))
 
     print("\n--- Fig. 10 bars for ADI (scaled machine) ---")
-    results = measure_application("adi", ["noopt", "fusion", "new"])
+    results = run(RunRequest(program="adi", levels=("noopt", "fusion", "new"))).results
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results)))
     print("paper: L1 -39%, L2 -44%, TLB -56%, speedup 2.33x")
 

@@ -8,6 +8,10 @@ Subcommands:
   N=...``, the concrete placements;
 * ``report APP``     — Fig. 10-style measurement of a bundled application
   (or a file) across optimization levels on the scaled machine;
+* ``profile APP``    — run one (program, level, params) and print the
+  nested stage/pass span tree (seconds + peak MB) plus metric deltas;
+* ``runs``           — list and summarize past ``runs/<id>/events.jsonl``
+  run logs;
 * ``levels``         — list the optimization levels;
 * ``apps``           — list the bundled benchmark applications;
 * ``bench-engine``   — time the fast vs. reference simulation engines on
@@ -22,7 +26,10 @@ Examples::
 
     python -m repro fuse kernel.loop --level fusion
     python -m repro regroup kernel.loop -p N=512
-    python -m repro report adi --levels noopt,fusion,new
+    python -m repro report adi --levels noopt,fusion,new --verify
+    python -m repro profile adi --level new --params N=200
+    python -m repro profile adi --level new --json
+    python -m repro runs
     python -m repro bench-engine adi
     python -m repro cache --clear
     python -m repro lint kernel.loop --json
@@ -33,7 +40,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Optional, Sequence
@@ -42,17 +51,25 @@ from .core import OPT_LEVELS, compile_variant
 from .harness import (
     NORMALIZED_HEADERS,
     TIMING_HEADERS,
+    RunRequest,
     TraceCache,
     format_table,
     machine_for,
-    measure,
-    measure_application,
     normalized_rows,
+    run,
     timing_rows,
 )
-from .interp import trace_program
 from .lang import Program, ReproError, parse, to_source, validate
-from .memsim import ENGINES, simulate_addresses
+from .memsim import ENGINES
+from .obs import (
+    SCHEMA_VERSION,
+    TraceConfig,
+    format_metric_delta,
+    format_span_tree,
+    list_runs,
+    summarize_run,
+    validate_event,
+)
 from .programs import APPLICATIONS, registry
 from .programs.registry import MachineSpec
 from .verify import PassLegalityError, PassVerifier, Severity, lint_program, verify_pass
@@ -108,28 +125,35 @@ def cmd_report(args: argparse.Namespace) -> int:
         raise SystemExit(f"unknown levels: {unknown}; see 'repro levels'")
     cache = TraceCache(args.cache_dir) if args.cache else None
     if args.target in APPLICATIONS:
-        results = measure_application(
-            args.target, levels, engine=args.engine, cache=cache
-        )
+        results = run(
+            RunRequest(
+                program=args.target,
+                levels=levels,
+                params=_parse_params(args.param) or None,
+                steps=args.steps,
+                engine=args.engine,
+                cache=cache,
+                verify=args.verify,
+            )
+        ).results
         title = f"{args.target} (registry application, scaled machine)"
     else:
         program = _load_program(args.target)
         params = _parse_params(args.param)
         if not params:
             raise SystemExit("measuring a file requires -p NAME=INT")
-        machine = machine_for(MachineSpec())
-        results = [
-            measure(
-                program,
-                level,
-                params,
-                machine,
-                steps=args.steps,
+        results = run(
+            RunRequest(
+                program=program,
+                levels=levels,
+                params=params,
+                machine=machine_for(MachineSpec()),
+                steps=args.steps if args.steps is not None else 1,
                 engine=args.engine,
                 cache=cache,
+                verify=args.verify,
             )
-            for level in levels
-        ]
+        ).results
         title = f"{program.name} ({args.target})"
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results), title=title))
     if args.timings:
@@ -148,46 +172,54 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     """Time fast vs. reference engines; fail unless metrics are identical."""
     levels = args.levels.split(",")
     entry = registry.get(args.app)
-    program = validate(entry.build())
     machine = machine_for(entry.machine_spec)
-    params = _parse_params(args.param) or entry.default_params
-    steps = args.steps if args.steps is not None else entry.steps
+    params = _parse_params(args.param) or None
 
     headers = ("level", "engine", "l1", "l2", "tlb", "sim total")
     rows: list[list[object]] = []
     totals = dict.fromkeys(ENGINES, 0.0)
     identical = True
-    for level in levels:
-        variant = compile_variant(program, level)
-        trace = trace_program(variant.program, params, steps=steps)
-        addresses = variant.layout(params).addresses(trace, in_bytes=True)
-        stats_by = {}
-        for engine in ("reference", "fast"):
-            best, best_timings = float("inf"), {}
-            for _ in range(args.repeats):
-                timings: dict[str, float] = {}
-                t0 = time.perf_counter()
-                stats = simulate_addresses(
-                    addresses, trace.writes, machine, engine=engine, timings=timings
+    sim_stages = ("l1", "l2", "tlb")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        # a throwaway trace cache: repeats replay the address stream from
+        # disk; result_cache=False forces every repeat to re-simulate
+        cache = TraceCache(tmp)
+        for level in levels:
+            stats_by = {}
+            for engine in ("reference", "fast"):
+                best, best_timings, best_stats = float("inf"), {}, None
+                for _ in range(args.repeats):
+                    result = run(
+                        RunRequest(
+                            program=args.app,
+                            levels=(level,),
+                            params=params,
+                            steps=args.steps,
+                            engine=engine,
+                            cache=cache,
+                            result_cache=False,
+                        )
+                    ).results[0]
+                    elapsed = sum(result.timings.get(s, 0.0) for s in sim_stages)
+                    if elapsed < best:
+                        best, best_timings = elapsed, result.timings
+                        best_stats = result.stats
+                stats_by[engine] = best_stats
+                totals[engine] += best
+                rows.append(
+                    [level, engine]
+                    + [best_timings.get(s, 0.0) for s in sim_stages]
+                    + [best]
                 )
-                elapsed = time.perf_counter() - t0
-                if elapsed < best:
-                    best, best_timings = elapsed, timings
-            stats_by[engine] = stats
-            totals[engine] += best
-            rows.append(
-                [level, engine]
-                + [best_timings.get(s, 0.0) for s in ("l1", "l2", "tlb")]
-                + [best]
-            )
-        if stats_by["fast"] != stats_by["reference"]:
-            identical = False
-            print(f"ENGINE MISMATCH at level {level}:", file=sys.stderr)
-            print(f"  reference: {stats_by['reference']}", file=sys.stderr)
-            print(f"  fast:      {stats_by['fast']}", file=sys.stderr)
+            if stats_by["fast"] != stats_by["reference"]:
+                identical = False
+                print(f"ENGINE MISMATCH at level {level}:", file=sys.stderr)
+                print(f"  reference: {stats_by['reference']}", file=sys.stderr)
+                print(f"  fast:      {stats_by['fast']}", file=sys.stderr)
 
+    shown_params = dict(params) if params else dict(entry.default_params)
     title = (
-        f"{args.app} engine comparison ({machine.name}, params {dict(params)}, "
+        f"{args.app} engine comparison ({machine.name}, params {shown_params}, "
         f"best of {args.repeats}; seconds)"
     )
     print(format_table(headers, rows, title=title))
@@ -198,6 +230,102 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
         f"fast {totals['fast']:.3f}s -> {speedup:.2f}x speedup"
     )
     return 0 if identical else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one (program, level) run: span tree, metrics, peak memory."""
+    params = _parse_params(args.param) or None
+    if args.target in APPLICATIONS:
+        target: object = args.target
+        machine = None
+    else:
+        target = _load_program(args.target)
+        if params is None:
+            raise SystemExit("profiling a file requires -p NAME=INT")
+        machine = machine_for(MachineSpec())
+    outcome = run(
+        RunRequest(
+            program=target,
+            levels=(args.level,),
+            params=params,
+            machine=machine,
+            steps=args.steps,
+            engine=args.engine,
+            cache=TraceCache(args.cache_dir) if args.cache else None,
+            verify=args.verify,
+            trace=TraceConfig(memory=not args.no_memory),
+        )
+    )
+    result = outcome.results[0]
+    if args.json:
+        events = [sp.to_event() for sp in result.spans]
+        for event in events:
+            validate_event(event)
+        print(
+            json.dumps(
+                {
+                    "v": SCHEMA_VERSION,
+                    "program": result.program,
+                    "level": result.level,
+                    "params": dict(result.params),
+                    "seconds": round(result.seconds, 9),
+                    "spans": events,
+                    "metrics": result.metrics,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    title = (
+        f"{result.program}/{result.level} "
+        f"(params {dict(result.params)}; seconds{' / peak MB' if not args.no_memory else ''})"
+    )
+    print(format_span_tree(result.spans, title=title))
+    print()
+    print(format_metric_delta(result.metrics))
+    print(
+        f"\ntotal {result.seconds:.3f}s | trace {result.trace_length:,} accesses"
+    )
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """List past run logs (``runs/<id>/events.jsonl``) with summaries."""
+    run_dirs = list_runs(args.runs_root)
+    summaries = [summarize_run(d) for d in run_dirs]
+    if args.json:
+        print(json.dumps({"v": SCHEMA_VERSION, "runs": summaries}, indent=2))
+        return 0
+    if not summaries:
+        root = args.runs_root or "runs"
+        print(f"no run logs under {root}/ (enable with TraceConfig(events=True))")
+        return 0
+    headers = ("run", "started", "specs", "seconds", "events", "slowest")
+    rows: list[list[object]] = []
+    for s in summaries:
+        slowest = s.get("slowest")
+        started = s.get("started")
+        rows.append(
+            [
+                s["run_id"],
+                (
+                    time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(started))
+                    if started
+                    else "-"
+                ),
+                f"{s.get('completed', 0)}/{s.get('total', 0)}",
+                s.get("seconds", 0.0),
+                s["events"],
+                (
+                    f"{slowest['program']}/{slowest['level']} "
+                    f"{slowest['seconds']:.2f}s"
+                    if slowest
+                    else "-"
+                ),
+            ]
+        )
+    print(format_table(headers, rows, title="recorded runs (schema v1 event logs)"))
+    return 0
 
 
 def _load_target(target: str) -> Program:
@@ -242,6 +370,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_verify_pass(args: argparse.Namespace) -> int:
     params = _parse_params(args.param) or None
+    # the verifier snapshots a tiny execution; one body repetition suffices
+    args.steps = 1 if args.steps is None else args.steps
     if args.before or args.after:
         if not (args.before and args.after):
             raise SystemExit("--before and --after must be given together")
@@ -352,6 +482,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # shared option groups: every measuring subcommand spells program
+    # parameters, the engine choice, verification, and caching the same way
+    params_args = argparse.ArgumentParser(add_help=False)
+    params_args.add_argument(
+        "-p", "--param", "--params", dest="param", action="append",
+        metavar="NAME=INT", help="program parameter (repeatable)",
+    )
+    params_args.add_argument(
+        "--steps", type=int, default=None,
+        help="body repetitions (default: the app's registry value, 1 for files)",
+    )
+    engine_args = argparse.ArgumentParser(add_help=False)
+    engine_args.add_argument(
+        "--engine", choices=ENGINES, default=None, help="simulation engine"
+    )
+    verify_args = argparse.ArgumentParser(add_help=False)
+    verify_args.add_argument(
+        "--verify", action="store_true",
+        help="certify pass legality during compilation",
+    )
+    cache_args = argparse.ArgumentParser(add_help=False)
+    cache_args.add_argument(
+        "--cache", action="store_true", help="use the on-disk trace/result cache"
+    )
+    cache_args.add_argument("--cache-dir", default=None, help="cache directory")
+
     fuse = sub.add_parser("fuse", help="transform a mini-language source file")
     fuse.add_argument("file")
     fuse.add_argument("--level", default="fusion", help="optimization level")
@@ -364,31 +520,50 @@ def build_parser() -> argparse.ArgumentParser:
     regroup.add_argument("-p", "--param", action="append", metavar="NAME=INT")
     regroup.set_defaults(fn=cmd_regroup)
 
-    report = sub.add_parser("report", help="measure optimization levels")
+    report = sub.add_parser(
+        "report",
+        help="measure optimization levels",
+        parents=[params_args, engine_args, verify_args, cache_args],
+    )
     report.add_argument("target", help="registry app name or source file")
     report.add_argument("--levels", default="noopt,fusion,new")
-    report.add_argument("-p", "--param", action="append", metavar="NAME=INT")
-    report.add_argument("--steps", type=int, default=1)
-    report.add_argument(
-        "--engine", choices=ENGINES, default=None, help="simulation engine"
-    )
     report.add_argument(
         "--timings", action="store_true", help="print per-stage wall-clock table"
     )
-    report.add_argument(
-        "--cache", action="store_true", help="use the on-disk trace/result cache"
-    )
-    report.add_argument("--cache-dir", default=None, help="cache directory")
     report.set_defaults(fn=cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="span-tree profile of one (program, level) run",
+        parents=[params_args, engine_args, verify_args, cache_args],
+    )
+    profile.add_argument("target", help="registry app name or source file")
+    profile.add_argument("--level", default="new", help="optimization level")
+    profile.add_argument(
+        "--no-memory", action="store_true",
+        help="skip tracemalloc peak-memory tracking (faster)",
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit schema-v1 span events as JSON instead of the tree",
+    )
+    profile.set_defaults(fn=cmd_profile)
+
+    runs = sub.add_parser("runs", help="list recorded run logs")
+    runs.add_argument(
+        "--runs-root", default=None,
+        help="directory run logs live under (default runs/ or $REPRO_RUNS_DIR)",
+    )
+    runs.add_argument("--json", action="store_true", help="JSON output")
+    runs.set_defaults(fn=cmd_runs)
 
     bench = sub.add_parser(
         "bench-engine",
         help="compare fast vs. reference simulation engines",
+        parents=[params_args],
     )
     bench.add_argument("app", nargs="?", default="adi", help="registry app name")
     bench.add_argument("--levels", default="noopt,fusion,new")
-    bench.add_argument("-p", "--param", action="append", metavar="NAME=INT")
-    bench.add_argument("--steps", type=int, default=None)
     bench.add_argument("--repeats", type=int, default=3)
     bench.set_defaults(fn=cmd_bench_engine)
 
@@ -420,16 +595,13 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify-pass",
         help="certify that optimization passes preserve all dependences",
+        parents=[params_args],
     )
     verify.add_argument(
         "target", nargs="?",
         help="registry app name or source file (default: all apps)",
     )
     verify.add_argument("--levels", default="new", help="comma-separated levels")
-    verify.add_argument("-p", "--param", action="append", metavar="NAME=INT",
-                        help="snapshot parameters (default: 8 for each)")
-    verify.add_argument("--steps", type=int, default=1,
-                        help="body repetitions in the snapshot")
     verify.add_argument("--before", help="original source file")
     verify.add_argument("--after", help="transformed source file")
     verify.add_argument("--pass-name", default="transform",

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Union
 
 from ..lang import Program, TransformError, validate
+from ..obs import current_collector, span
 from ..verify import PassVerifier
 from ..transform import (
     distribute_loops,
@@ -77,19 +78,35 @@ def preliminary(
     on the first broken dependence).
     """
 
-    def checked(name: str, result: Program) -> Program:
-        if verifier is not None:
-            verifier.check(name, result)
-        return result
-
-    p = checked("inline", inline_procedures(program))
-    p = checked("unroll", unroll_small_loops(p, max_unroll))
-    p = checked("split_arrays", split_arrays(p, max_unroll))
+    p = _pass("inline", inline_procedures, program, verifier=verifier)
+    p = _pass("unroll", unroll_small_loops, p, max_unroll, verifier=verifier)
+    p = _pass("split_arrays", split_arrays, p, max_unroll, verifier=verifier)
     if distribute:
-        p = checked("distribute", distribute_loops(p))
-    p = checked("constprop", propagate_scalar_constants(p))
-    p = checked("simplify", simplify_program(p))
+        p = _pass("distribute", distribute_loops, p, verifier=verifier)
+    p = _pass("constprop", propagate_scalar_constants, p, verifier=verifier)
+    p = _pass("simplify", simplify_program, p, verifier=verifier)
     return validate(p)
+
+
+def _pass(name, fn, *args, verifier=None, strict=None, **kwargs) -> Program:
+    """Run one pass under a span; certify it when a verifier is active.
+
+    The span carries the resulting program's structural counts (loop
+    nests, arrays, statements) as attributes, so profiles show not only
+    how long a pass took but what it left behind.
+    """
+    with span(name) as sp:
+        result = fn(*args, **kwargs)
+        if current_collector() is not None and isinstance(result, Program):
+            stats = result.stats()
+            for key in ("loop_nests", "loops", "arrays", "statements"):
+                if key in stats:
+                    sp.attrs[key] = stats[key]
+    if verifier is not None:
+        checked = result.program if isinstance(result, CompiledVariant) else result
+        with span("verify", certifies=name):
+            verifier.check(name, checked, strict=strict)
+    return result
 
 
 def compile_variant(
@@ -120,29 +137,23 @@ def compile_variant(
     else:
         verifier = PassVerifier(program, verify_params) if verify else None
     if level == "noopt":
-        p = inline_procedures(program)
-        if verifier is not None:
-            verifier.check("inline", p)
-        p = simplify_program(p)
-        if verifier is not None:
-            verifier.check("simplify", p)
+        p = _pass("inline", inline_procedures, program, verifier=verifier)
+        p = _pass("simplify", simplify_program, p, verifier=verifier)
         p = validate(p)
         return CompiledVariant(level, p, lambda params: default_layout(p, params), stages=stages)
     if level == "sgi":
         from ..baselines.sgi_like import sgi_compile
 
-        variant = sgi_compile(program, stages)
-        if verifier is not None:
-            # baseline compilers run their own pass mix; certify them
-            # end to end (relaxed: they rewrite arithmetic like simplify)
-            verifier.check(level, variant.program, strict=False)
+        # baseline compilers run their own pass mix; certify them
+        # end to end (relaxed: they rewrite arithmetic like simplify)
+        variant = _pass(level, sgi_compile, program, stages,
+                        verifier=verifier, strict=False)
         return variant
     if level == "mckinley":
         from ..baselines.mckinley import mckinley_compile
 
-        variant = mckinley_compile(program, stages)
-        if verifier is not None:
-            verifier.check(level, variant.program, strict=False)
+        variant = _pass(level, mckinley_compile, program, stages,
+                        verifier=verifier, strict=False)
         return variant
 
     p = preliminary(program, max_unroll, distribute=level != "regroup",
@@ -151,19 +162,23 @@ def compile_variant(
 
     if level in ("fusion", "fusion1", "new") or level.startswith("fusion"):
         max_levels = 1 if level.startswith("fusion1") else 8
-        p, report = fuse_program(p, max_levels=max_levels, options=fusion_options)
+        with span("fusion", max_levels=max_levels) as sp:
+            p, report = fuse_program(p, max_levels=max_levels, options=fusion_options)
+            if current_collector() is not None:
+                sp.attrs["loop_nests"] = p.loop_nest_count()
         if verifier is not None:
-            verifier.check("fusion", p)
-        p = simplify_program(p)
-        if verifier is not None:
-            verifier.check("simplify", p)
+            with span("verify", certifies="fusion"):
+                verifier.check("fusion", p)
+        p = _pass("simplify", simplify_program, p, verifier=verifier)
         p = validate(p)
         stages["fused"] = p.stats()
     else:
         report = None
 
     if level in ("regroup", "new") or level.endswith("+regroup"):
-        plan = regroup_plan(p, regroup_options)
+        with span("regroup") as sp:
+            plan = regroup_plan(p, regroup_options)
+            sp.attrs["merged_arrays"] = plan.merged_array_count()
         stages["regrouped"] = {"merged_arrays": plan.merged_array_count()}
         final = p
         return CompiledVariant(

@@ -1,4 +1,9 @@
-"""Experiment drivers and table formatting shared by benchmarks/examples."""
+"""Experiment drivers and table formatting shared by benchmarks/examples.
+
+New code enters through :func:`run` with a :class:`RunRequest`; the
+historical ``measure`` / ``measure_application`` / ``run_application``
+trio remains as deprecated shims over it.
+"""
 
 from .cache import TraceCache, default_cache_dir, layout_fingerprint
 from .experiment import (
@@ -6,6 +11,7 @@ from .experiment import (
     machine_for,
     measure,
     measure_application,
+    measure_variant,
     stage_timer,
     trace_for,
 )
@@ -13,9 +19,11 @@ from .parallel import (
     ExperimentRecord,
     ExperimentSpec,
     ParallelRunner,
+    progress_line,
     run_application,
     run_spec,
 )
+from .run import RunRequest, RunResult, run
 from .sweep import SweepPoint, growth_factor, scaling_sweep
 from .tables import (
     NORMALIZED_HEADERS,
@@ -33,6 +41,8 @@ __all__ = [
     "ExperimentSpec",
     "NORMALIZED_HEADERS",
     "ParallelRunner",
+    "RunRequest",
+    "RunResult",
     "SweepPoint",
     "TIMING_HEADERS",
     "TIMING_STAGES",
@@ -45,9 +55,12 @@ __all__ = [
     "machine_for",
     "measure",
     "measure_application",
+    "measure_variant",
     "normalized_rows",
+    "progress_line",
     "ratio",
     "growth_factor",
+    "run",
     "run_application",
     "run_spec",
     "scaling_sweep",

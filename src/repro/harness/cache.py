@@ -30,6 +30,7 @@ import numpy as np
 
 from ..core.regroup.layout import Layout
 from ..memsim import MachineConfig, MemStats
+from ..obs import metrics
 
 #: Default cache directory (overridable via ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = ".cache"
@@ -95,12 +96,16 @@ class TraceCache:
     def load_trace(self, key: str) -> Optional[tuple[np.ndarray, np.ndarray]]:
         path = self.root / f"trace-{key}.npz"
         if not path.exists():
+            metrics.inc("cache.trace.misses")
             return None
         try:
             with np.load(path) as data:
-                return data["addresses"], data["writes"]
+                out = data["addresses"], data["writes"]
         except (OSError, KeyError, ValueError):
+            metrics.inc("cache.trace.misses")
             return None  # corrupt entry: treat as a miss, it will be rewritten
+        metrics.inc("cache.trace.hits")
+        return out
 
     def store_trace(
         self, key: str, addresses: np.ndarray, writes: np.ndarray
@@ -110,17 +115,22 @@ class TraceCache:
         tmp = path.with_suffix(".tmp.npz")
         np.savez(tmp, addresses=addresses, writes=writes)
         tmp.replace(path)  # atomic publish: concurrent readers never see partial files
+        metrics.inc("cache.trace.stores")
 
     # -- results -------------------------------------------------------
 
     def load_result(self, key: str) -> Optional[MemStats]:
         path = self.root / f"result-{key}.json"
         if not path.exists():
+            metrics.inc("cache.result.misses")
             return None
         try:
-            return MemStats(**json.loads(path.read_text()))
+            stats = MemStats(**json.loads(path.read_text()))
         except (OSError, TypeError, ValueError):
+            metrics.inc("cache.result.misses")
             return None
+        metrics.inc("cache.result.hits")
+        return stats
 
     def store_result(self, key: str, stats: MemStats) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -128,6 +138,7 @@ class TraceCache:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(dataclasses.asdict(stats)))
         tmp.replace(path)
+        metrics.inc("cache.result.stores")
 
     # -- maintenance ---------------------------------------------------
 

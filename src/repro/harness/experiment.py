@@ -1,17 +1,24 @@
 """Shared experiment driver used by benchmarks/ and examples/.
 
-``measure`` takes an application (by registry name or as a program),
-compiles it at an optimization level, generates the trace at the chosen
-size, simulates the scaled memory hierarchy, and returns one
-:class:`VariantResult` — the row unit of every Fig. 10 / §6 table.
+:func:`measure_variant` takes an application (by registry name or as a
+program), compiles it at an optimization level, generates the trace at
+the chosen size, simulates the scaled memory hierarchy, and returns one
+:class:`VariantResult` — the row unit of every Fig. 10 / §6 table.  The
+whole path is instrumented with :mod:`repro.obs` spans (compile passes,
+trace-gen, per-cache simulation stages), so a surrounding
+:class:`~repro.obs.SpanCollector` sees the full stage tree.
+
+The historical entry point :func:`measure` survives as a deprecated
+shim over the :func:`repro.harness.run` front door.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 from ..core import CompiledVariant, compile_variant
 from ..core.fusion import FusionOptions
@@ -28,7 +35,9 @@ from ..memsim import (
     simulate_addresses,
     simulate_hierarchy,
 )
+from ..obs import SpanEvent, metrics, span
 from ..programs import registry
+from ..verify import PassVerifier
 from .cache import TraceCache, layout_fingerprint
 
 
@@ -40,10 +49,16 @@ class VariantResult:
     level: str
     params: Mapping[str, int]
     stats: MemStats
-    variant: CompiledVariant
+    variant: Optional[CompiledVariant]
     trace_length: int
     #: per-stage wall-clock seconds (trace-gen, addresses, l1, l2, tlb)
     timings: dict = field(default_factory=dict)
+    #: wall-clock seconds of the whole measurement (filled by the runner)
+    seconds: float = 0.0
+    #: observability spans collected over the measurement (serial runs)
+    spans: list[SpanEvent] = field(default_factory=list)
+    #: metrics-registry delta observed over the measurement
+    metrics: dict = field(default_factory=dict)
 
     def row(self) -> dict:
         return {
@@ -65,7 +80,8 @@ def stage_timer(timings: dict, stage: str):
     The benchmark-side counterpart of the stages ``simulate_hierarchy``
     times internally — e.g. wrap an Olken ``reuse_distances`` pass with
     ``stage_timer(timings, "distance")`` to fill the timing table's
-    ``distance`` column.
+    ``distance`` column.  New code should prefer :func:`repro.obs.span`,
+    which feeds the same numbers into structured events.
     """
     t0 = time.perf_counter()
     try:
@@ -84,7 +100,7 @@ def machine_for(spec) -> MachineConfig:
     )
 
 
-def measure(
+def measure_variant(
     program: Program,
     level: str,
     params: Mapping[str, int],
@@ -95,20 +111,32 @@ def measure(
     regroup_options: Optional[RegroupOptions] = None,
     engine: Optional[str] = None,
     cache: Optional[TraceCache] = None,
+    verify: Union[bool, PassVerifier] = False,
+    result_cache: bool = True,
 ) -> VariantResult:
     """Compile at ``level``, trace, and simulate one program variant.
 
     ``engine`` selects the simulation engine (``"fast"``/``"reference"``,
     default per :func:`repro.memsim.default_engine`).  ``cache`` replays
     address streams — and whole results, when the machine and engine also
-    match — from disk instead of re-tracing.  Per-stage seconds land in
-    :attr:`VariantResult.timings`.
+    match — from disk instead of re-tracing; ``result_cache=False``
+    keeps the trace cache but always re-simulates (benchmarking).
+    ``verify`` threads a pass-legality check through
+    :func:`~repro.core.compile_variant` (True, or a
+    :class:`~repro.verify.PassVerifier` whose history the caller wants).
+    Per-stage seconds land in :attr:`VariantResult.timings`.
     """
     engine = engine or default_engine()
     timings: dict[str, float] = {}
-    variant = compile_variant(
-        program, level, fusion_options=fusion_options, regroup_options=regroup_options
-    )
+    with span("compile", level=level) as sp:
+        variant = compile_variant(
+            program,
+            level,
+            fusion_options=fusion_options,
+            regroup_options=regroup_options,
+            verify=verify,
+        )
+    timings["compile"] = sp.duration_s
     validate(variant.program)
     layout = variant.layout(params)
 
@@ -128,34 +156,79 @@ def measure(
             str(variant.program), params, steps, layout_fingerprint(layout)
         )
         rkey = cache.result_key(tkey, machine, engine)
-        stats = cache.load_result(rkey)
-        if stats is not None:
-            return _result(stats, stats.accesses)
+        if result_cache:
+            stats = cache.load_result(rkey)
+            if stats is not None:
+                return _result(stats, stats.accesses)
         cached = cache.load_trace(tkey)
         if cached is not None:
             addresses, writes = cached
         else:
-            t0 = time.perf_counter()
-            trace = trace_program(variant.program, params, steps=steps)
-            t1 = time.perf_counter()
-            timings["trace-gen"] = t1 - t0
-            addresses = layout.addresses(trace, in_bytes=True)
-            timings["addresses"] = time.perf_counter() - t1
+            with span("trace-gen", steps=steps) as sp:
+                trace = trace_program(variant.program, params, steps=steps)
+            timings["trace-gen"] = sp.duration_s
+            metrics.inc("trace.generated")
+            metrics.inc("trace.accesses", len(trace))
+            with span("addresses") as sp:
+                addresses = layout.addresses(trace, in_bytes=True)
+            timings["addresses"] = sp.duration_s
             writes = trace.writes
             cache.store_trace(tkey, addresses, writes)
         stats = simulate_addresses(
             addresses, writes, machine, engine=engine, timings=timings
         )
-        cache.store_result(rkey, stats)
+        if result_cache:
+            cache.store_result(rkey, stats)
         return _result(stats, len(addresses))
 
-    t0 = time.perf_counter()
-    trace = trace_program(variant.program, params, steps=steps)
-    timings["trace-gen"] = time.perf_counter() - t0
+    with span("trace-gen", steps=steps) as sp:
+        trace = trace_program(variant.program, params, steps=steps)
+    timings["trace-gen"] = sp.duration_s
+    metrics.inc("trace.generated")
+    metrics.inc("trace.accesses", len(trace))
     stats = simulate_hierarchy(
         trace, layout, machine, engine=engine, timings=timings
     )
     return _result(stats, len(trace))
+
+
+def measure(
+    program: Program,
+    level: str,
+    params: Mapping[str, int],
+    machine: MachineConfig,
+    steps: int = 1,
+    name: Optional[str] = None,
+    fusion_options: Optional[FusionOptions] = None,
+    regroup_options: Optional[RegroupOptions] = None,
+    engine: Optional[str] = None,
+    cache: Optional[TraceCache] = None,
+    verify: Union[bool, PassVerifier] = False,
+) -> VariantResult:
+    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`)."""
+    warnings.warn(
+        "repro.harness.measure is deprecated; use "
+        "repro.harness.run(RunRequest(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .run import RunRequest, run
+
+    return run(
+        RunRequest(
+            program=program,
+            levels=(level,),
+            params=params,
+            machine=machine,
+            steps=steps,
+            name=name,
+            fusion_options=fusion_options,
+            regroup_options=regroup_options,
+            engine=engine,
+            cache=cache,
+            verify=verify,
+        )
+    ).results[0]
 
 
 def measure_application(
@@ -168,29 +241,31 @@ def measure_application(
     regroup_options: Optional[RegroupOptions] = None,
     engine: Optional[str] = None,
     cache: Optional[TraceCache] = None,
+    verify: Union[bool, PassVerifier] = False,
 ) -> list[VariantResult]:
-    """Measure a registry application at several optimization levels."""
-    entry = registry.get(app)
-    program = validate(entry.build())
-    if machine is None:
-        machine = machine_for(entry.machine_spec)
-    out = []
-    for level in levels:
-        out.append(
-            measure(
-                program,
-                level,
-                params or entry.default_params,
-                machine,
-                steps=entry.steps if steps is None else steps,
-                name=app,
-                fusion_options=fusion_options,
-                regroup_options=regroup_options,
-                engine=engine,
-                cache=cache,
-            )
+    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`)."""
+    warnings.warn(
+        "repro.harness.measure_application is deprecated; use "
+        "repro.harness.run(RunRequest(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .run import RunRequest, run
+
+    return run(
+        RunRequest(
+            program=app,
+            levels=tuple(levels),
+            params=params,
+            machine=machine,
+            steps=steps,
+            fusion_options=fusion_options,
+            regroup_options=regroup_options,
+            engine=engine,
+            cache=cache,
+            verify=verify,
         )
-    return out
+    ).results
 
 
 def trace_for(

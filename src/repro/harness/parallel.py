@@ -2,9 +2,9 @@
 
 A benchmark is a list of independent (program, level, size) experiments;
 :class:`ParallelRunner` fans them out across worker processes with
-``multiprocessing.Pool.map``, which preserves input order, so a parallel
-run returns *bit-identical* records in the *same order* as a serial run
-— the property the integration tests pin.
+``multiprocessing.Pool.imap`` (``chunksize=1``), which yields results in
+input order, so a parallel run returns *bit-identical* records in the
+*same order* as a serial run — the property the integration tests pin.
 
 Experiments cross the process boundary as :class:`ExperimentSpec`
 records (registry name + plain-data options), not as compiled variants:
@@ -13,18 +13,29 @@ not pickle.  Results come back as the equally-slim
 :class:`ExperimentRecord`.  Both directions compose with the on-disk
 :class:`~repro.harness.cache.TraceCache`, so workers share traces
 through the filesystem rather than re-tracing per process.
+
+Observability: given a :class:`~repro.obs.TraceConfig` with
+``events=True``, the runner creates ``runs/<id>/events.jsonl`` and every
+worker streams its spec's span/metric events into it (schema v1, see
+:mod:`repro.obs.events`); ``progress=True`` additionally reports
+completed/total, ETA, and the slowest spec live as results arrive.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
+import sys
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core.fusion import FusionOptions
 from ..core.regroup import RegroupOptions
 from ..memsim import MachineConfig, MemStats
+from ..obs import RunLog, TraceConfig, make_event, spec_logging
 
 
 @dataclass(frozen=True)
@@ -33,7 +44,9 @@ class ExperimentSpec:
 
     ``app`` names a registry application; ``params``/``steps``/``machine``
     default to the registry entry's values when omitted.  ``cache_dir``
-    (a path) enables the on-disk trace/result cache for this experiment.
+    (a path) enables the on-disk trace/result cache for this experiment;
+    ``verify`` runs the pass-legality checker during compilation;
+    ``result_cache=False`` replays traces but always re-simulates.
     """
 
     app: str
@@ -45,6 +58,8 @@ class ExperimentSpec:
     regroup_options: Optional[RegroupOptions] = None
     engine: Optional[str] = None
     cache_dir: Optional[str] = None
+    verify: bool = False
+    result_cache: bool = True
 
 
 @dataclass(frozen=True)
@@ -57,12 +72,14 @@ class ExperimentRecord:
     trace_length: int
     stats: MemStats
     timings: dict = field(default_factory=dict)
+    #: wall-clock seconds the spec took in its worker
+    seconds: float = 0.0
 
 
 def run_spec(spec: ExperimentSpec) -> ExperimentRecord:
     """Execute one spec (module-level so worker processes can import it)."""
     from .cache import TraceCache
-    from .experiment import machine_for, measure
+    from .experiment import machine_for, measure_variant
     from ..lang import validate
     from ..programs import registry
 
@@ -71,7 +88,7 @@ def run_spec(spec: ExperimentSpec) -> ExperimentRecord:
     machine = spec.machine if spec.machine is not None else machine_for(
         entry.machine_spec
     )
-    result = measure(
+    result = measure_variant(
         program,
         spec.level,
         dict(spec.params) if spec.params is not None else entry.default_params,
@@ -82,6 +99,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentRecord:
         regroup_options=spec.regroup_options,
         engine=spec.engine,
         cache=TraceCache(spec.cache_dir) if spec.cache_dir else None,
+        verify=spec.verify,
+        result_cache=spec.result_cache,
     )
     return ExperimentRecord(
         program=result.program,
@@ -93,21 +112,121 @@ def run_spec(spec: ExperimentSpec) -> ExperimentRecord:
     )
 
 
-class ParallelRunner:
-    """Run experiment specs across processes, results in input order."""
+def _logged_spec(job: tuple) -> ExperimentRecord:
+    """Worker entry: run one spec, streaming its events to the run log."""
+    spec, run_dir, index, memory = job
+    log = RunLog(run_dir) if run_dir else None
+    with spec_logging(log, index, spec.app, spec.level, memory=memory) as collector:
+        record = run_spec(spec)
+    return dataclasses.replace(record, seconds=collector.seconds)
 
-    def __init__(self, jobs: Optional[int] = None) -> None:
+
+def progress_line(
+    completed: int,
+    total: int,
+    label: str,
+    seconds: float,
+    elapsed: float,
+    slowest_label: str,
+    slowest_seconds: float,
+) -> str:
+    """One live progress report: completed/total, ETA, slowest spec."""
+    remaining = total - completed
+    eta = (elapsed / completed) * remaining if completed else 0.0
+    return (
+        f"[{completed}/{total}] {label} {seconds:.2f}s | "
+        f"elapsed {elapsed:.1f}s | ETA {eta:.1f}s | "
+        f"slowest {slowest_label} {slowest_seconds:.2f}s"
+    )
+
+
+class ParallelRunner:
+    """Run experiment specs across processes, results in input order.
+
+    ``trace`` configures the observability sinks for the whole run; after
+    :meth:`run` with events enabled, ``last_run_dir`` points at the run
+    directory holding ``events.jsonl``.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        trace: Optional[TraceConfig] = None,
+        progress_stream=None,
+    ) -> None:
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.trace = trace
+        self.progress_stream = progress_stream
+        self.last_run_dir = None
 
     def run(self, specs: Sequence[ExperimentSpec]) -> list[ExperimentRecord]:
         specs = list(specs)
+        cfg = self.trace
+        log: Optional[RunLog] = None
+        if cfg is not None and cfg.events:
+            log = RunLog.create(cfg.runs_root, cfg.run_id)
+            self.last_run_dir = log.run_dir
+            log.write(make_event("run_start", run_id=log.run_id, total=len(specs)))
+        memory = bool(cfg and cfg.memory)
+        progress = bool(cfg and cfg.progress)
+        stream = self.progress_stream if self.progress_stream is not None else sys.stderr
+        run_dir = str(log.run_dir) if log is not None else None
+        jobs = [(spec, run_dir, i, memory) for i, spec in enumerate(specs)]
+
+        records: list[ExperimentRecord] = []
+        slowest: Optional[ExperimentRecord] = None
+        t0 = time.perf_counter()
+
+        def consume(record: ExperimentRecord) -> None:
+            nonlocal slowest
+            records.append(record)
+            if slowest is None or record.seconds > slowest.seconds:
+                slowest = record
+            if progress:
+                print(
+                    progress_line(
+                        len(records),
+                        len(specs),
+                        f"{record.program}/{record.level}",
+                        record.seconds,
+                        time.perf_counter() - t0,
+                        f"{slowest.program}/{slowest.level}",
+                        slowest.seconds,
+                    ),
+                    file=stream,
+                    flush=True,
+                )
+
         if self.jobs <= 1 or len(specs) <= 1:
-            return [run_spec(s) for s in specs]
-        # fork keeps the already-imported interpreter state; Pool.map
-        # preserves ordering regardless of completion order.
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(min(self.jobs, len(specs))) as pool:
-            return pool.map(run_spec, specs)
+            for job in jobs:
+                consume(_logged_spec(job))
+        else:
+            # fork keeps the already-imported interpreter state; imap with
+            # chunksize=1 yields in input order as soon as each completes.
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(min(self.jobs, len(specs))) as pool:
+                for record in pool.imap(_logged_spec, jobs, chunksize=1):
+                    consume(record)
+
+        if log is not None:
+            extra = {}
+            if slowest is not None:
+                extra["slowest"] = {
+                    "program": slowest.program,
+                    "level": slowest.level,
+                    "seconds": round(slowest.seconds, 9),
+                }
+            log.write(
+                make_event(
+                    "run_end",
+                    run_id=log.run_id,
+                    completed=len(records),
+                    total=len(specs),
+                    seconds=round(time.perf_counter() - t0, 9),
+                    **extra,
+                )
+            )
+        return records
 
 
 def run_application(
@@ -118,19 +237,25 @@ def run_application(
     engine: Optional[str] = None,
     **spec_kwargs,
 ) -> list[ExperimentRecord]:
-    """Measure ``app`` at several levels via the parallel runner.
+    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`).
 
-    Drop-in shape for the benchmarks' ``measure_application`` loops: one
-    record per level, in the order given.
+    Drop-in shape for the benchmarks' historical loops: one record per
+    level, in the order given.
     """
-    specs = [
-        ExperimentSpec(
-            app=app,
-            level=level,
-            engine=engine,
-            cache_dir=cache_dir,
-            **spec_kwargs,
-        )
-        for level in levels
-    ]
-    return ParallelRunner(jobs=jobs).run(specs)
+    warnings.warn(
+        "repro.harness.run_application is deprecated; use "
+        "repro.harness.run(RunRequest(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .run import RunRequest, run
+
+    request = RunRequest(
+        program=app,
+        levels=tuple(levels),
+        engine=engine,
+        cache=cache_dir,
+        jobs=jobs,
+        **spec_kwargs,
+    )
+    return run(request).records()

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from ..lang import validate
 from ..memsim import MachineConfig
 from ..programs import registry
-from .experiment import machine_for, measure
+from .experiment import machine_for, measure_variant
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,7 @@ def scaling_sweep(
     out: list[SweepPoint] = []
     for level in levels:
         for n in sizes:
-            result = measure(
+            result = measure_variant(
                 program,
                 level,
                 {"N": n},

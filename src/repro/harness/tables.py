@@ -79,7 +79,7 @@ NORMALIZED_HEADERS = (
 
 
 #: Canonical stage order for :func:`timing_rows`.
-TIMING_STAGES = ("trace-gen", "addresses", "l1", "l2", "tlb", "distance")
+TIMING_STAGES = ("compile", "trace-gen", "addresses", "l1", "l2", "tlb", "distance")
 
 TIMING_HEADERS = ("level",) + TIMING_STAGES + ("total",)
 

@@ -133,6 +133,9 @@ def simulate_cache_writeback(
         from .fastsim import simulate_fast
 
         return simulate_fast(config, lines, wr)
+    from ..obs import metrics
+
+    metrics.inc("engine.reference.calls")
     if config.assoc == 0 or config.num_sets == 1:
         return _fully_associative(lines, wr, config.ways)
     if config.assoc == 1:

@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from ..locality.reuse_distance import miss_count, reuse_distances
+from ..obs import metrics
 from .cache import CacheConfig, CacheResult, _fully_associative, _n_way
 
 #: Upper bound on the sparse-table footprint of the fully-associative
@@ -57,6 +58,7 @@ _FA_BLOCK = 32
 
 def simulate_fast(config: CacheConfig, lines: np.ndarray, writes: np.ndarray) -> CacheResult:
     """Vectorized equivalent of the scalar dispatch in ``cache.py``."""
+    metrics.inc("engine.fast.calls")
     n = len(lines)
     if n == 0:
         return CacheResult(np.zeros(0, dtype=bool), 0)
@@ -83,6 +85,7 @@ def simulate_fast(config: CacheConfig, lines: np.ndarray, writes: np.ndarray) ->
     else:
         # Associativities 3+ (with several sets) do not occur on the
         # paper's machines; reuse the scalar reference loop wholesale.
+        metrics.inc("engine.fast.scalar_fallback")
         res = _n_way(clines, cwrites, config.num_sets, config.assoc)
         return _expand(n, hpos, res.miss, res.writebacks)
 
@@ -207,6 +210,7 @@ def _fa_miss_mask(lines: np.ndarray, capacity: int) -> np.ndarray:
     nblocks = -(-m // _FA_BLOCK)
     levels = max(1, nblocks.bit_length())
     if words * nblocks * (levels + 1) * 8 > _FA_TABLE_BYTES or len(cand) > m:
+        metrics.inc("engine.fast.fa_scalar_fallback")
         return _fa_scalar_miss_mask(lines, capacity)
 
     decided = _fa_resolve_candidates(

@@ -9,7 +9,6 @@ additive :class:`TimingModel`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import MutableMapping, Optional
 
@@ -17,7 +16,8 @@ import numpy as np
 
 from ..core.regroup.layout import Layout
 from ..interp.trace import AccessTrace
-from .cache import simulate_cache, simulate_cache_writeback
+from ..obs import span
+from .cache import default_engine, simulate_cache, simulate_cache_writeback
 from .machine import MachineConfig
 
 
@@ -79,14 +79,13 @@ def simulate_hierarchy(
     ``engine`` selects the simulation implementation (see
     :data:`repro.memsim.cache.ENGINES`).  When ``timings`` is a mapping,
     per-stage wall-clock seconds are accumulated into it under the keys
-    ``addresses``, ``l1``, ``l2`` and ``tlb``.
+    ``addresses``, ``l1``, ``l2`` and ``tlb``.  Each stage also emits an
+    :mod:`repro.obs` span, so profiles see the same breakdown.
     """
-    t0 = time.perf_counter()
-    addresses = layout.addresses(trace, in_bytes=True)
+    with span("addresses", accesses=len(trace)) as sp:
+        addresses = layout.addresses(trace, in_bytes=True)
     if timings is not None:
-        timings["addresses"] = (
-            timings.get("addresses", 0.0) + time.perf_counter() - t0
-        )
+        timings["addresses"] = timings.get("addresses", 0.0) + sp.duration_s
     return simulate_addresses(
         addresses, trace.writes, machine, engine=engine, timings=timings
     )
@@ -103,26 +102,29 @@ def simulate_addresses(
 
     This is the entry point the trace cache uses: a cached (addresses,
     writes) pair replays without re-tracing or re-laying-out the program.
+    Each stage runs under an :mod:`repro.obs` span named ``l1``/``l2``/
+    ``tlb``; the legacy ``timings`` mapping is filled from the same spans.
     """
-    clock = time.perf_counter if timings is not None else None
+    resolved = engine or default_engine()
 
-    def _mark(stage: str, since: float) -> float:
-        now = clock()
-        timings[stage] = timings.get(stage, 0.0) + (now - since)
-        return now
+    def _mark(stage: str, sp) -> None:
+        if timings is not None:
+            timings[stage] = timings.get(stage, 0.0) + sp.duration_s
 
-    t0 = clock() if clock else 0.0
-    l1_miss = simulate_cache(machine.l1, addresses, engine=engine)
-    if clock:
-        t0 = _mark("l1", t0)
-    l2 = simulate_cache_writeback(
-        machine.l2, addresses[l1_miss], writes[l1_miss], engine=engine
-    )
-    if clock:
-        t0 = _mark("l2", t0)
-    tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses, engine=engine)
-    if clock:
-        _mark("tlb", t0)
+    with span("l1", engine=resolved) as sp:
+        l1_miss = simulate_cache(machine.l1, addresses, engine=engine)
+        sp.attrs["misses"] = int(l1_miss.sum())
+    _mark("l1", sp)
+    with span("l2", engine=resolved) as sp:
+        l2 = simulate_cache_writeback(
+            machine.l2, addresses[l1_miss], writes[l1_miss], engine=engine
+        )
+        sp.attrs["misses"] = l2.misses
+    _mark("l2", sp)
+    with span("tlb", engine=resolved) as sp:
+        tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses, engine=engine)
+        sp.attrs["misses"] = int(tlb_miss.sum())
+    _mark("tlb", sp)
     n = len(addresses)
     n1 = int(l1_miss.sum())
     n2 = l2.misses

@@ -1,0 +1,143 @@
+"""The run-event schema: versioned, validated, JSONL-friendly.
+
+Every observability sink in :mod:`repro.obs` speaks one event
+vocabulary, serialized as one JSON object per line (JSONL).  The schema
+is versioned by :data:`SCHEMA_VERSION`; consumers must ignore events
+whose ``v`` they do not understand, and producers must never change the
+meaning of an existing field within a version.
+
+Schema v1
+---------
+
+Common required fields on every event:
+
+``v``
+    (int) schema version, currently ``1``.
+``kind``
+    (str) one of :data:`EVENT_KINDS`.
+``ts``
+    (float) Unix timestamp (``time.time()``) at emission.
+
+Per-kind required fields:
+
+``run_start``
+    ``run_id`` (str), ``total`` (int) — number of specs in the run.
+``spec_start``
+    ``index`` (int), ``program`` (str), ``level`` (str).
+``span``
+    ``name`` (str), ``path`` (str, dotted ancestry), ``depth`` (int),
+    ``start_s`` (float, seconds since the spec started),
+    ``dur_s`` (float), ``attrs`` (object).
+    Optional: ``peak_kb`` (float) — tracemalloc peak during the span.
+``metrics``
+    ``counters`` (object: name -> delta), ``gauges`` (object: name ->
+    value) — the registry delta observed over one spec.
+``spec_end``
+    ``index`` (int), ``program`` (str), ``level`` (str),
+    ``seconds`` (float).  Optional: ``trace_length`` (int).
+``run_end``
+    ``run_id`` (str), ``completed`` (int), ``total`` (int),
+    ``seconds`` (float).  Optional: ``slowest`` (object with
+    ``program``/``level``/``seconds``).
+
+:func:`validate_event` enforces exactly the table above and raises
+:class:`SchemaError` naming the first violation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Optional
+
+#: Current version of the run-event schema documented above.
+SCHEMA_VERSION = 1
+
+#: File name of the per-run event log inside ``runs/<id>/``.
+RUN_LOG_FILENAME = "events.jsonl"
+
+
+class SchemaError(ValueError):
+    """An event does not conform to the documented schema."""
+
+
+_NUMBER = (int, float)
+
+#: kind -> {field: accepted type(s)} for *required* per-kind fields
+EVENT_KINDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "run_start": {"run_id": (str,), "total": (int,)},
+    "spec_start": {"index": (int,), "program": (str,), "level": (str,)},
+    "span": {
+        "name": (str,),
+        "path": (str,),
+        "depth": (int,),
+        "start_s": _NUMBER,
+        "dur_s": _NUMBER,
+        "attrs": (dict,),
+    },
+    "metrics": {"counters": (dict,), "gauges": (dict,)},
+    "spec_end": {
+        "index": (int,),
+        "program": (str,),
+        "level": (str,),
+        "seconds": _NUMBER,
+    },
+    "run_end": {
+        "run_id": (str,),
+        "completed": (int,),
+        "total": (int,),
+        "seconds": _NUMBER,
+    },
+}
+
+#: kind -> {field: accepted type(s)} for *optional* per-kind fields
+OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "span": {"peak_kb": _NUMBER},
+    "spec_end": {"trace_length": (int,)},
+    "run_end": {"slowest": (dict,)},
+}
+
+
+def make_event(kind: str, ts: Optional[float] = None, **fields: object) -> dict:
+    """Build a schema-conforming event dict (validated before return)."""
+    event: dict[str, object] = {"v": SCHEMA_VERSION, "kind": kind, "ts": time.time() if ts is None else ts}
+    event.update(fields)
+    validate_event(event)
+    return event
+
+
+def validate_event(event: Mapping[str, object]) -> None:
+    """Raise :class:`SchemaError` unless ``event`` conforms to schema v1."""
+    if not isinstance(event, Mapping):
+        raise SchemaError(f"event must be a mapping, got {type(event).__name__}")
+    v = event.get("v")
+    if not isinstance(v, int) or isinstance(v, bool):
+        raise SchemaError("event missing integer schema version field 'v'")
+    if v != SCHEMA_VERSION:
+        raise SchemaError(f"unknown schema version {v}; this build speaks v{SCHEMA_VERSION}")
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        raise SchemaError(f"unknown event kind {kind!r}; expected one of {sorted(EVENT_KINDS)}")
+    ts = event.get("ts")
+    if not isinstance(ts, _NUMBER) or isinstance(ts, bool):
+        raise SchemaError(f"{kind}: missing numeric 'ts'")
+    required = EVENT_KINDS[kind]
+    optional = OPTIONAL_FIELDS.get(kind, {})
+    for field, types in required.items():
+        value = event.get(field)
+        if field not in event or not isinstance(value, types) or isinstance(value, bool):
+            raise SchemaError(
+                f"{kind}: field {field!r} must be "
+                f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
+            )
+    for field, types in optional.items():
+        if field in event:
+            value = event[field]
+            if not isinstance(value, types) or isinstance(value, bool):
+                raise SchemaError(
+                    f"{kind}: optional field {field!r} must be "
+                    f"{'/'.join(t.__name__ for t in types)}, got {value!r}"
+                )
+    allowed = {"v", "kind", "ts", *required, *optional}
+    extra = set(event) - allowed
+    if extra:
+        raise SchemaError(f"{kind}: unexpected field(s) {sorted(extra)}")

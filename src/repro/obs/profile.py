@@ -1,0 +1,91 @@
+"""Rendering helpers for ``repro profile`` and ``repro runs``.
+
+Turns a pre-order list of spans (either :class:`~repro.obs.spans.SpanEvent`
+records or schema-v1 ``span`` event dicts) into the indented
+time-and-memory tree the CLI prints, and a metrics delta into an aligned
+block.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from .spans import SpanEvent
+
+_SpanLike = Union[SpanEvent, Mapping[str, object]]
+
+
+def _get(span: _SpanLike, field: str, default: object = None) -> object:
+    if isinstance(span, SpanEvent):
+        mapping = {
+            "name": span.name,
+            "depth": span.depth,
+            "dur_s": span.duration_s,
+            "peak_kb": span.peak_kb,
+            "attrs": span.attrs,
+        }
+        return mapping.get(field, default)
+    return span.get(field, default)
+
+
+def _attr_note(attrs: Mapping[str, object]) -> str:
+    """A compact, stable rendering of the most informative attributes."""
+    keep = []
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, (int, float, str, bool)):
+            keep.append(f"{key}={value}")
+    return " ".join(keep[:4])
+
+
+def format_span_tree(
+    spans: Sequence[_SpanLike],
+    title: Optional[str] = None,
+) -> str:
+    """Indented span tree with seconds and (when tracked) peak MB."""
+    has_memory = any(_get(s, "peak_kb") is not None for s in spans)
+    name_width = max(
+        [len("span") + 0]
+        + [len(str(_get(s, "name"))) + 2 * int(_get(s, "depth", 0)) for s in spans]
+    )
+    headers = ["span".ljust(name_width), "seconds".rjust(9)]
+    if has_memory:
+        headers.append("peak MB".rjust(9))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(headers) + "  ")
+    lines.append("  ".join("-" * len(h) for h in headers))
+    for s in spans:
+        indent = "  " * int(_get(s, "depth", 0))
+        cells = [
+            (indent + str(_get(s, "name"))).ljust(name_width),
+            f"{float(_get(s, 'dur_s', 0.0)):9.4f}",
+        ]
+        if has_memory:
+            peak_kb = _get(s, "peak_kb")
+            cells.append(
+                f"{float(peak_kb) / 1024.0:9.2f}" if peak_kb is not None else " " * 9
+            )
+        note = _attr_note(_get(s, "attrs", {}) or {})
+        lines.append("  ".join(cells) + ("  " + note if note else ""))
+    return "\n".join(lines)
+
+
+def format_metric_delta(delta: Mapping[str, Mapping[str, float]]) -> str:
+    """Aligned ``name +delta`` / ``name =value`` block for one spec."""
+    counters = dict(delta.get("counters", {}))
+    gauges = dict(delta.get("gauges", {}))
+    if not counters and not gauges:
+        return "metric deltas: (none)"
+    width = max(len(n) for n in [*counters, *gauges])
+    lines = ["metric deltas:"]
+    for name in sorted(counters):
+        value = counters[name]
+        shown = int(value) if float(value).is_integer() else value
+        lines.append(f"  {name.ljust(width)}  {shown:+,}")
+    for name in sorted(gauges):
+        value = gauges[name]
+        shown = int(value) if float(value).is_integer() else value
+        lines.append(f"  {name.ljust(width)}  ={shown:,}")
+    return "\n".join(lines)

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Iterable, Iterator, Mapping, Optional
 
 from ..lang import ValidationError, ValidationIssue
+from ..obs import metrics
 
 
 class Severity(Enum):
@@ -97,6 +98,7 @@ class DiagnosticBag:
     ) -> Diagnostic:
         diag = Diagnostic(code, severity, message, where, stmt, dict(details))
         self.diagnostics.append(diag)
+        metrics.inc(f"verify.diagnostics.{severity}")
         return diag
 
     def error(self, code: str, message: str, **kw: object) -> Diagnostic:
@@ -115,6 +117,7 @@ class DiagnosticBag:
         """Wrap a structural :class:`ValidationIssue` as an error."""
         diag = Diagnostic(code, Severity.ERROR, issue.message, where=issue.where)
         self.diagnostics.append(diag)
+        metrics.inc(f"verify.diagnostics.{Severity.ERROR}")
         return diag
 
     # -- queries ------------------------------------------------------------

@@ -154,3 +154,76 @@ def test_cache_subcommand(tmp_path, capsys):
     assert main(["cache", "--dir", str(cache_dir), "--clear"]) == 0
     out = capsys.readouterr().out
     assert "removed 2 entries" in out and "0 traces" in out
+
+
+def test_profile_prints_span_tree(capsys):
+    assert main(["profile", "adi", "--level", "new", "--params", "N=40"]) == 0
+    out = capsys.readouterr().out
+    # nested pass spans under compile, plus every simulation stage
+    for name in ("compile", "fusion", "regroup", "trace-gen", "l1", "l2", "tlb"):
+        assert name in out
+    assert "seconds" in out and "peak MB" in out
+    assert "metric deltas:" in out
+    assert "trace.generated" in out
+
+
+def test_profile_json_is_schema_valid(capsys):
+    import json
+
+    from repro.obs import SCHEMA_VERSION, validate_event
+
+    assert main(["profile", "adi", "--level", "noopt", "-p", "N=40", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["v"] == SCHEMA_VERSION
+    assert data["level"] == "noopt" and data["params"] == {"N": 40}
+    assert data["spans"], "profile --json must carry span events"
+    for event in data["spans"]:
+        validate_event(event)
+
+
+def test_profile_on_file_requires_params(kernel_file):
+    with pytest.raises(SystemExit):
+        main(["profile", kernel_file])
+
+
+def test_profile_no_memory_drops_column(kernel_file, capsys):
+    rc = main(["profile", kernel_file, "-p", "N=64", "--level", "fusion", "--no-memory"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "peak MB" not in out
+
+
+def test_runs_empty_and_populated(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path))
+    assert main(["runs"]) == 0
+    assert "no run logs" in capsys.readouterr().out
+
+    from repro.harness import RunRequest, run
+    from repro.obs import TraceConfig
+
+    run(
+        RunRequest(
+            program="adi", levels=("noopt",), params={"N": 40}, steps=1,
+            trace=TraceConfig(events=True),
+        )
+    )
+    assert main(["runs"]) == 0
+    out = capsys.readouterr().out
+    assert "adi/noopt" in out and "1/1" in out
+
+    import json
+
+    assert main(["runs", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert len(data["runs"]) == 1
+    assert data["runs"][0]["programs"] == ["adi"]
+
+
+def test_report_verify_flag(kernel_file, capsys):
+    assert (
+        main(
+            ["report", kernel_file, "-p", "N=64", "--levels", "noopt,new", "--verify"]
+        )
+        == 0
+    )
+    assert "level" in capsys.readouterr().out

@@ -1,0 +1,250 @@
+"""The run(RunRequest) front door and its deprecation shims.
+
+Pins the api-redesign contract: the old trio (``measure``,
+``measure_application``, ``run_application``) still works, warns
+``DeprecationWarning`` exactly once per call site, and matches the new
+front door bit-for-bit; ``verify=`` actually reaches the compiler; and
+the observability sinks (events.jsonl, progress lines) fire.
+"""
+
+import io
+import warnings
+
+import pytest
+
+from repro.harness import (
+    ExperimentSpec,
+    ParallelRunner,
+    RunRequest,
+    RunResult,
+    machine_for,
+    measure,
+    measure_application,
+    run,
+    run_application,
+)
+from repro.lang import ReproError, validate
+from repro.obs import RunLog, TraceConfig, summarize_run
+from repro.programs import registry
+from repro.verify import PassVerifier
+
+SMALL = {"N": 24}
+
+
+def _adi():
+    entry = registry.get("adi")
+    return validate(entry.build()), machine_for(entry.machine_spec)
+
+
+class TestFrontDoor:
+    def test_levels_accept_string_sequence_and_comma(self):
+        a = run(RunRequest(program="adi", levels="noopt,new", params=SMALL, steps=1))
+        b = run(
+            RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1)
+        )
+        assert [r.level for r in a] == ["noopt", "new"]
+        assert a.rows() == b.rows()
+
+    def test_registry_defaults_fill_params_and_steps(self):
+        result = run(RunRequest(program="adi", levels=("noopt",), params=SMALL))
+        entry = registry.get("adi")
+        assert result[0].params == dict(SMALL)
+        # default steps come from the registry entry (adi: 2)
+        lone = run(RunRequest(program="adi", levels=("noopt",), params=SMALL, steps=1))
+        assert result[0].trace_length == lone[0].trace_length * entry.steps
+
+    def test_program_object_requires_params(self):
+        program, _ = _adi()
+        with pytest.raises(ReproError, match="requires params"):
+            run(RunRequest(program=program, levels=("noopt",)))
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ReproError, match="levels is empty"):
+            run(RunRequest(program="adi", levels=""))
+
+    def test_result_container_protocols(self):
+        result = run(RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1))
+        assert isinstance(result, RunResult)
+        assert len(result) == 2
+        assert result[1].level == "new"
+        assert [r.level for r in result] == ["noopt", "new"]
+        records = result.records()
+        assert [(r.program, r.level) for r in records] == [
+            ("adi", "noopt"),
+            ("adi", "new"),
+        ]
+        assert records[0].stats == result[0].stats
+
+    def test_serial_results_carry_spans_and_metrics(self):
+        result = run(RunRequest(program="adi", levels=("noopt",), params=SMALL, steps=1))
+        spans = result[0].spans
+        names = {s.name for s in spans}
+        assert {"compile", "trace-gen", "l1", "l2", "tlb"} <= names
+        assert result[0].seconds > 0
+        assert result[0].metrics["counters"].get("trace.generated") == 1
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize("app", ["adi", "swim"])
+    def test_measure_matches_run(self, app):
+        entry = registry.get(app)
+        program = validate(entry.build())
+        machine = machine_for(entry.machine_spec)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = measure(program, "new", SMALL, machine, steps=1)
+        new = run(
+            RunRequest(
+                program=program, levels=("new",), params=SMALL,
+                machine=machine, steps=1,
+            )
+        ).results[0]
+        assert old.row() == new.row()
+        assert old.trace_length == new.trace_length
+
+    @pytest.mark.parametrize("app", ["adi", "swim"])
+    def test_measure_application_matches_run(self, app):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = measure_application(app, ["noopt", "new"], params=SMALL, steps=1)
+        new = run(
+            RunRequest(program=app, levels=("noopt", "new"), params=SMALL, steps=1)
+        )
+        assert [r.row() for r in old] == new.rows()
+
+    def test_run_application_matches_run_records(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = run_application("adi", ["noopt", "new"], params=SMALL, steps=1)
+        new = run(
+            RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1)
+        ).records()
+        assert [(r.level, r.stats, r.trace_length) for r in old] == [
+            (r.level, r.stats, r.trace_length) for r in new
+        ]
+
+    def test_shims_warn_once_per_call_site(self):
+        program, machine = _adi()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default")  # dedup per (site, message)
+            for _ in range(3):  # one call site, three calls
+                measure(program, "noopt", SMALL, machine, steps=1)
+            measure(program, "noopt", SMALL, machine, steps=1)  # second site
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 2
+        assert "run(RunRequest(...))" in str(deprecations[0].message)
+
+
+class TestVerifyThreading:
+    def test_run_threads_verifier_to_the_compiler(self):
+        program, machine = _adi()
+        verifier = PassVerifier(program, SMALL, steps=1)
+        run(
+            RunRequest(
+                program=program, levels=("fusion",), params=SMALL,
+                machine=machine, steps=1, verify=verifier,
+            )
+        )
+        assert verifier.history, "verify= must reach compile_variant"
+
+    def test_measure_shim_forwards_verifier(self):
+        # the historical bug: measure() dropped verify= on the floor
+        program, machine = _adi()
+        verifier = PassVerifier(program, SMALL, steps=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            measure(program, "fusion", SMALL, machine, steps=1, verify=verifier)
+        assert verifier.history
+
+    def test_verify_off_by_default(self):
+        result = run(RunRequest(program="adi", levels=("fusion",), params=SMALL, steps=1))
+        verify_spans = [s for s in result[0].spans if s.name == "verify"]
+        assert not verify_spans
+
+    def test_verify_true_adds_verify_spans(self):
+        result = run(
+            RunRequest(
+                program="adi", levels=("fusion",), params=SMALL, steps=1, verify=True
+            )
+        )
+        verify_spans = [s for s in result[0].spans if s.name == "verify"]
+        assert verify_spans
+        assert all("certifies" in s.attrs for s in verify_spans)
+
+
+class TestObservabilitySinks:
+    def test_serial_run_writes_event_log(self, tmp_path):
+        result = run(
+            RunRequest(
+                program="adi", levels=("noopt", "new"), params=SMALL, steps=1,
+                trace=TraceConfig(events=True, runs_root=str(tmp_path)),
+            )
+        )
+        assert result.run_dir is not None
+        events = RunLog(result.run_dir).events()
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("spec_start") == 2 and kinds.count("spec_end") == 2
+        assert any(k == "span" for k in kinds)
+        summary = summarize_run(result.run_dir)
+        assert summary["completed"] == 2 and summary["total"] == 2
+        assert summary["slowest"] is not None
+
+    def test_parallel_runner_streams_events_and_progress(self, tmp_path):
+        stream = io.StringIO()
+        specs = [
+            ExperimentSpec(app="adi", level=level, params=SMALL, steps=1)
+            for level in ("noopt", "new")
+        ]
+        runner = ParallelRunner(
+            jobs=2,
+            trace=TraceConfig(events=True, runs_root=str(tmp_path), progress=True),
+            progress_stream=stream,
+        )
+        records = runner.run(specs)
+        assert [r.level for r in records] == ["noopt", "new"]
+        assert all(r.seconds > 0 for r in records)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2]") and lines[1].startswith("[2/2]")
+        assert "ETA" in lines[0] and "slowest" in lines[0]
+        summary = summarize_run(runner.last_run_dir)
+        assert summary["completed"] == 2
+        assert summary["events"] >= 6  # run_start/end + 2x(spec_start/spec_end)
+
+    def test_parallel_matches_serial_bit_for_bit(self, tmp_path):
+        serial = run(
+            RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1)
+        )
+        parallel = run(
+            RunRequest(
+                program="adi", levels=("noopt", "new"), params=SMALL, steps=1,
+                jobs=2,
+            )
+        )
+        assert serial.rows() == parallel.rows()
+
+
+class TestResultCacheKnob:
+    def test_result_cache_off_still_replays_traces(self, tmp_path):
+        request = dict(
+            program="adi", levels=("noopt",), params=SMALL, steps=1,
+            cache=str(tmp_path),
+        )
+        cold = run(RunRequest(**request, result_cache=False))
+        warm = run(RunRequest(**request, result_cache=False))
+        assert cold.rows() == warm.rows()
+        # trace replayed from disk, but the simulation stages re-ran
+        assert "trace-gen" not in warm[0].timings
+        assert "l1" in warm[0].timings
+
+    def test_result_cache_on_skips_simulation(self, tmp_path):
+        request = dict(
+            program="adi", levels=("noopt",), params=SMALL, steps=1,
+            cache=str(tmp_path),
+        )
+        cold = run(RunRequest(**request))
+        warm = run(RunRequest(**request))
+        assert cold.rows() == warm.rows()
+        assert "l1" not in warm[0].timings

@@ -1,0 +1,121 @@
+"""Schema v1 events: construction, validation, and the golden log."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    SCHEMA_VERSION,
+    RunLog,
+    SchemaError,
+    make_event,
+    summarize_run,
+    validate_event,
+)
+
+GOLDEN = Path(__file__).parent / "data" / "golden_events.jsonl"
+
+
+def test_make_event_stamps_version_and_ts():
+    event = make_event("run_start", run_id="r1", total=3)
+    assert event["v"] == SCHEMA_VERSION
+    assert event["kind"] == "run_start"
+    assert isinstance(event["ts"], float)
+
+
+def test_make_event_rejects_bad_payload():
+    with pytest.raises(SchemaError):
+        make_event("run_start", run_id="r1")  # missing total
+    with pytest.raises(SchemaError):
+        make_event("run_start", run_id="r1", total="three")
+    with pytest.raises(SchemaError):
+        make_event("run_start", run_id="r1", total=3, extra=1)
+    with pytest.raises(SchemaError):
+        make_event("no_such_kind")
+
+
+def test_validate_rejects_bool_as_int():
+    event = make_event("spec_start", index=0, program="adi", level="new")
+    event["index"] = True
+    with pytest.raises(SchemaError):
+        validate_event(event)
+
+
+def test_validate_rejects_unknown_version():
+    event = make_event("run_start", run_id="r1", total=1)
+    event["v"] = SCHEMA_VERSION + 1
+    with pytest.raises(SchemaError, match="unknown schema version"):
+        validate_event(event)
+
+
+def test_optional_fields_are_typed():
+    # peak_kb is optional on span events, but must be numeric when present
+    base = dict(
+        name="l1", path="l1", depth=0, start_s=0.0, dur_s=0.1, attrs={}
+    )
+    validate_event(make_event("span", **base))
+    validate_event(make_event("span", peak_kb=12.5, **base))
+    with pytest.raises(SchemaError):
+        make_event("span", peak_kb="big", **base)
+
+
+@pytest.mark.parametrize("kind", sorted(EVENT_KINDS))
+def test_every_kind_round_trips_through_json(kind):
+    samples = {
+        "run_start": dict(run_id="r", total=2),
+        "spec_start": dict(index=0, program="adi", level="new"),
+        "span": dict(
+            name="compile", path="compile", depth=0, start_s=0.0,
+            dur_s=0.25, attrs={"level": "new"},
+        ),
+        "metrics": dict(counters={"trace.generated": 1}, gauges={}),
+        "spec_end": dict(index=0, program="adi", level="new", seconds=1.5),
+        "run_end": dict(run_id="r", completed=2, total=2, seconds=3.0),
+    }
+    event = make_event(kind, ts=123.0, **samples[kind])
+    parsed = json.loads(json.dumps(event))
+    validate_event(parsed)
+    assert parsed == event
+
+
+def test_golden_log_validates_line_by_line():
+    """The checked-in golden log is schema-v1, line for line."""
+    lines = GOLDEN.read_text().splitlines()
+    assert lines, "golden file must not be empty"
+    for line in lines:
+        validate_event(json.loads(line))
+
+
+def test_golden_log_summary(tmp_path):
+    """summarize_run over the golden log pins the documented aggregates."""
+    run_dir = tmp_path / "golden-run"
+    run_dir.mkdir()
+    (run_dir / "events.jsonl").write_text(GOLDEN.read_text())
+    summary = summarize_run(run_dir)
+    assert summary["total"] == 2
+    assert summary["completed"] == 2
+    assert summary["events"] == len(GOLDEN.read_text().splitlines())
+    assert summary["programs"] == ["adi"]
+    assert summary["levels"] == ["new", "noopt"]
+    assert summary["slowest"]["level"] == "new"
+    assert summary["seconds"] == pytest.approx(0.75)
+
+
+def test_runlog_skips_corrupt_and_foreign_lines(tmp_path):
+    log = RunLog.create(tmp_path, "r1")
+    log.write(make_event("run_start", run_id="r1", total=1))
+    with open(log.path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"v": 999, "kind": "run_start", "ts": 1.0}) + "\n")
+    log.write(make_event("run_end", run_id="r1", completed=1, total=1, seconds=0.1))
+    events = log.events()
+    assert [e["kind"] for e in events] == ["run_start", "run_end"]
+
+
+def test_runlog_write_refuses_invalid_events(tmp_path):
+    log = RunLog.create(tmp_path, "r2")
+    with pytest.raises(SchemaError):
+        log.write({"v": SCHEMA_VERSION, "kind": "run_start", "ts": 1.0})
+    assert not log.path.exists()

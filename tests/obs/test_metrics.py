@@ -1,0 +1,84 @@
+"""The process-wide metrics registry: counters, gauges, snapshot deltas."""
+
+import threading
+
+from repro.obs import MetricsRegistry, format_metric_delta
+
+
+def test_counters_accumulate():
+    reg = MetricsRegistry()
+    reg.inc("cache.trace.hits")
+    reg.inc("cache.trace.hits", 4)
+    assert reg.snapshot()["counters"]["cache.trace.hits"] == 5
+
+
+def test_gauges_last_write_wins():
+    reg = MetricsRegistry()
+    reg.gauge("pool.jobs", 4)
+    reg.gauge("pool.jobs", 8)
+    assert reg.snapshot()["gauges"]["pool.jobs"] == 8
+
+
+def test_snapshot_is_a_copy():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    snap = reg.snapshot()
+    reg.inc("a")
+    assert snap["counters"]["a"] == 1
+
+
+def test_delta_reports_changes_only():
+    reg = MetricsRegistry()
+    reg.inc("stable", 3)
+    reg.gauge("g", 1)
+    before = reg.snapshot()
+    reg.inc("stable", 0)  # no net change
+    reg.inc("fresh", 2)
+    reg.gauge("g", 7)
+    delta = MetricsRegistry.delta(before, reg.snapshot())
+    assert delta == {"counters": {"fresh": 2}, "gauges": {"g": 7}}
+
+
+def test_reset_clears_everything():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.gauge("b", 1)
+    reg.reset()
+    assert reg.snapshot() == {"counters": {}, "gauges": {}}
+
+
+def test_thread_safety_under_contention():
+    reg = MetricsRegistry()
+
+    def hammer():
+        for _ in range(1000):
+            reg.inc("hits")
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.snapshot()["counters"]["hits"] == 8000
+
+
+def test_harness_populates_default_registry():
+    """A real measurement leaves the documented metric names behind."""
+    from repro.harness import RunRequest, run
+    from repro.obs import REGISTRY
+
+    before = REGISTRY.snapshot()
+    run(RunRequest(program="adi", levels=("noopt",), params={"N": 24}))
+    delta = MetricsRegistry.delta(before, REGISTRY.snapshot())
+    assert delta["counters"]["trace.generated"] == 1
+    assert delta["counters"]["trace.accesses"] > 0
+    assert any(name.startswith("engine.") for name in delta["counters"])
+
+
+def test_format_metric_delta_alignment():
+    text = format_metric_delta(
+        {"counters": {"trace.generated": 1}, "gauges": {"pool.jobs": 4}}
+    )
+    assert "trace.generated" in text and "+1" in text
+    assert "pool.jobs" in text and "=4" in text
+    assert format_metric_delta({"counters": {}, "gauges": {}}).endswith("(none)")

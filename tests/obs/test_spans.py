@@ -1,0 +1,89 @@
+"""Span tracing: nesting, attributes, detached timing, memory peaks."""
+
+import time
+
+from repro.obs import SpanCollector, current_collector, format_span_tree, span
+
+
+def test_detached_span_still_times():
+    # no collector: the span records nothing but measures its duration
+    assert current_collector() is None
+    with span("alone", tag="x") as sp:
+        time.sleep(0.01)
+    assert sp.duration_s >= 0.01
+    assert sp.attrs == {"tag": "x"}
+    assert sp.depth == 0
+
+
+def test_collector_records_preorder_nesting():
+    with SpanCollector() as collector:
+        with span("compile", level="new"):
+            with span("fusion"):
+                pass
+            with span("regroup"):
+                pass
+        with span("trace-gen"):
+            pass
+    names = [(e.name, e.depth, e.path) for e in collector.events]
+    assert names == [
+        ("compile", 0, "compile"),
+        ("fusion", 1, "compile.fusion"),
+        ("regroup", 1, "compile.regroup"),
+        ("trace-gen", 0, "trace-gen"),
+    ]
+    compile_ev = collector.events[0]
+    children = [e for e in collector.events if e.depth == 1]
+    assert all(e.duration_s <= compile_ev.duration_s for e in children)
+
+
+def test_collector_deactivates_on_exit():
+    with SpanCollector() as collector:
+        assert current_collector() is collector
+    assert current_collector() is None
+
+
+def test_attrs_attached_after_the_fact():
+    with SpanCollector() as collector:
+        with span("l1", engine="fast") as sp:
+            sp.attrs["misses"] = 42
+    event = collector.events[0]
+    assert event.attrs == {"engine": "fast", "misses": 42}
+
+
+def test_memory_collector_tracks_peaks_and_propagates():
+    with SpanCollector(memory=True) as collector:
+        with span("parent"):
+            with span("child"):
+                blob = bytearray(512 * 1024)  # ~512 kB inside the child
+                del blob
+    parent, child = collector.events
+    assert child.peak_kb is not None and child.peak_kb >= 256
+    # a parent's peak is at least any child's peak
+    assert parent.peak_kb >= child.peak_kb
+
+
+def test_span_to_event_is_schema_valid():
+    from repro.obs import validate_event
+
+    with SpanCollector() as collector:
+        with span("compile", level="new", shape=(3, 4)):
+            pass
+    event = collector.events[0].to_event(ts=1.0)
+    validate_event(event)
+    # exotic attribute values become JSON-safe
+    assert event["attrs"]["shape"] == [3, 4]
+
+
+def test_format_span_tree_renders_indentation_and_columns():
+    with SpanCollector() as collector:
+        with span("compile", level="new"):
+            with span("fusion"):
+                pass
+    text = format_span_tree(collector.events, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert any(line.lstrip().startswith("compile") for line in lines)
+    assert any("  fusion" in line for line in lines)
+    assert "seconds" in lines[1]
+    # no memory tracked -> no peak MB column
+    assert "peak MB" not in lines[1]

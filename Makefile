@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint benchmarks
+.PHONY: check lint test self-lint smoke benchmarks
 
-check: lint test self-lint
+check: lint test self-lint smoke
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -22,6 +22,13 @@ test:
 # the repo's own lint front door (delegates to ruff when available)
 self-lint:
 	$(PYTHON) -m repro lint --self
+
+# pass-manager smoke: the pipeline registry enumerates, lints clean, and a
+# custom --passes pipeline compiles and simulates end to end
+smoke:
+	$(PYTHON) -m repro pipeline --list
+	$(PYTHON) -m repro pipeline --lint
+	$(PYTHON) -m repro report adi --passes inline,simplify -p N=16 --steps 1
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

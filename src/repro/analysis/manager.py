@@ -1,0 +1,240 @@
+"""Cached analysis entry points — the pass manager's memoization layer.
+
+The compiler's expensive analyses (frame-relative access collection,
+body dependence graphs, alignment constraints, regrouping access
+patterns) are pure functions of immutable IR objects.  Historically
+every consumer recomputed them from scratch: fusion re-collected every
+member loop's accesses after each merge, the regrouping planner re-walked
+the program, and distribution re-derived dependence edges pair by pair.
+
+:class:`AnalysisManager` memoizes these computations keyed by *object
+identity* (plus the auxiliary arguments).  Identity keying is what makes
+the scheme sound without structural hashing: IR nodes are immutable, so
+the same object always analyzes to the same result, and the manager
+retains a strong reference to every key object so an id can never be
+recycled while its entry is alive.
+
+The manager is installed for a dynamic scope (one pipeline run) with
+:func:`analysis_scope`; the ``cached_*`` entry points below consult the
+active manager and fall back to direct computation when none is
+installed, so library callers outside a pipeline see identical behavior
+with zero caching overhead.
+
+Passes declare which analysis *kinds* they preserve
+(:data:`ANALYSIS_KINDS`); after each pass the pass manager calls
+:meth:`AnalysisManager.invalidate` with the preserved set and everything
+else is dropped.  Because keys are identities, a preserved entry is only
+ever *hit* again when the transformed program still contains the very
+same IR object — preservation can therefore never yield a stale result,
+only save recomputation.
+
+Cache traffic is reported to the metrics registry
+(``analysis.cache.hits`` / ``misses`` / ``evictions``, plus per-kind
+``analysis.cache.<kind>.*``) so ``repro profile`` shows analysis-cache
+effectiveness per run.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence
+
+from ..lang import Loop, Stmt
+
+#: every analysis kind the manager knows how to cache; pass ``preserves``
+#: declarations are validated against this set
+ANALYSIS_KINDS = (
+    "loop_accesses",  # collect_loop_accesses(loop, params)
+    "stmt_accesses",  # collect_stmt_accesses(stmt, params)
+    "dependence_graph",  # body_dependence_graph(loop, params, assume)
+    "alignment",  # compute_alignment(acc1, acc2, assume)
+    "access_patterns",  # regrouping's analyze_access_patterns(program)
+)
+
+
+class AnalysisManager:
+    """Identity-keyed memo table for the compiler's static analyses.
+
+    One instance lives for one pipeline run.  Entries are grouped by
+    analysis kind so a pass's ``preserves`` declaration can keep whole
+    kinds alive across the pass boundary while everything else is
+    evicted.
+    """
+
+    def __init__(self) -> None:
+        #: kind -> {key -> (key_objects, value)}; key_objects pins the
+        #: identity-keyed operands so their ids cannot be recycled
+        self._tables: dict[str, dict[tuple, tuple[tuple, object]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: per-kind counts, for profile output and the unit tests
+        self.kind_stats: dict[str, dict[str, int]] = {}
+
+    # -- core ------------------------------------------------------------
+
+    def get(
+        self,
+        kind: str,
+        key: tuple,
+        key_objects: tuple,
+        compute: Callable[[], object],
+    ) -> object:
+        """Return the cached value for ``(kind, key)`` or compute it.
+
+        ``key_objects`` are the objects whose ``id()`` participates in
+        ``key``; the manager keeps references to them for the entry's
+        lifetime so identity keys stay unambiguous.
+        """
+        if kind not in ANALYSIS_KINDS:
+            raise ValueError(f"unknown analysis kind {kind!r}")
+        table = self._tables.setdefault(kind, {})
+        stats = self.kind_stats.setdefault(
+            kind, {"hits": 0, "misses": 0, "evictions": 0}
+        )
+        entry = table.get(key)
+        if entry is not None:
+            self.hits += 1
+            stats["hits"] += 1
+            _metric(kind, "hits")
+            return entry[1]
+        self.misses += 1
+        stats["misses"] += 1
+        _metric(kind, "misses")
+        value = compute()
+        table[key] = (key_objects, value)
+        return value
+
+    def invalidate(self, preserved: frozenset[str] = frozenset()) -> None:
+        """Drop every cached kind not named in ``preserved``."""
+        unknown = preserved - set(ANALYSIS_KINDS)
+        if unknown:
+            raise ValueError(f"unknown analysis kinds preserved: {sorted(unknown)}")
+        for kind in list(self._tables):
+            if kind in preserved:
+                continue
+            dropped = len(self._tables.pop(kind))
+            if dropped:
+                self.evictions += dropped
+                stats = self.kind_stats.setdefault(
+                    kind, {"hits": 0, "misses": 0, "evictions": 0}
+                )
+                stats["evictions"] += dropped
+                _metric(kind, "evictions", dropped)
+
+    def cached_kinds(self) -> dict[str, int]:
+        """Live entry counts per kind (diagnostics / tests)."""
+        return {kind: len(table) for kind, table in self._tables.items() if table}
+
+
+def _metric(kind: str, event: str, value: int = 1) -> None:
+    from ..obs import metrics
+
+    metrics.inc(f"analysis.cache.{event}", value)
+    metrics.inc(f"analysis.cache.{kind}.{event}", value)
+
+
+_ACTIVE: contextvars.ContextVar[Optional[AnalysisManager]] = contextvars.ContextVar(
+    "repro_analysis_manager", default=None
+)
+
+
+def current_analysis_manager() -> Optional[AnalysisManager]:
+    """The manager installed by the innermost :func:`analysis_scope`."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def analysis_scope(manager: AnalysisManager) -> Iterator[AnalysisManager]:
+    """Install ``manager`` as the active cache for the dynamic extent."""
+    token = _ACTIVE.set(manager)
+    try:
+        yield manager
+    finally:
+        _ACTIVE.reset(token)
+
+
+# -- cached entry points ------------------------------------------------------
+#
+# Consumers call these instead of the raw analysis functions; with no
+# active manager they are plain pass-throughs.
+
+
+def cached_loop_accesses(loop: Loop, params: Sequence[str]) -> list:
+    from .access import collect_loop_accesses
+
+    am = _ACTIVE.get()
+    if am is None:
+        return collect_loop_accesses(loop, params)
+    key_params = tuple(params)
+    return am.get(
+        "loop_accesses",
+        (id(loop), key_params),
+        (loop,),
+        lambda: collect_loop_accesses(loop, key_params),
+    )
+
+
+def cached_stmt_accesses(stmt: Stmt, params: Sequence[str]) -> list:
+    from .access import collect_stmt_accesses
+
+    am = _ACTIVE.get()
+    if am is None:
+        return collect_stmt_accesses(stmt, params)
+    key_params = tuple(params)
+    return am.get(
+        "stmt_accesses",
+        (id(stmt), key_params),
+        (stmt,),
+        lambda: collect_stmt_accesses(stmt, key_params),
+    )
+
+
+def cached_body_dependence_graph(loop: Loop, params: Sequence[str], param_min):
+    from .dependence import body_dependence_graph
+
+    am = _ACTIVE.get()
+    if am is None:
+        return body_dependence_graph(loop, params, param_min)
+    key_params = tuple(params)
+    return am.get(
+        "dependence_graph",
+        (id(loop), key_params, param_min),
+        (loop,),
+        lambda: body_dependence_graph(loop, key_params, param_min),
+    )
+
+
+def cached_alignment(acc1: list, acc2: list, param_min):
+    """Memoized ``compute_alignment`` keyed by the access-list identities.
+
+    Fusion's working items keep their access summaries alive and stable
+    per (unit, version), so identity keying matches exactly the pairs the
+    greedy driver may re-test.
+    """
+    from .constraint import compute_alignment
+
+    am = _ACTIVE.get()
+    if am is None:
+        return compute_alignment(acc1, acc2, param_min)
+    return am.get(
+        "alignment",
+        (id(acc1), id(acc2), param_min),
+        (acc1, acc2),
+        lambda: compute_alignment(acc1, acc2, param_min),
+    )
+
+
+def cached_access_patterns(program, strict: bool = False):
+    from ..core.regroup.analysis import analyze_access_patterns
+
+    am = _ACTIVE.get()
+    if am is None:
+        return analyze_access_patterns(program, strict)
+    return am.get(
+        "access_patterns",
+        (id(program), strict),
+        (program,),
+        lambda: analyze_access_patterns(program, strict),
+    )

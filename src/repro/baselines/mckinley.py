@@ -6,11 +6,18 @@ fusion-preventing dependences" — no statement embedding, no alignment,
 no splitting.  The paper notes this fused just 6% of candidate loops and
 produced marginal improvements; the comparator benchmarks reproduce that
 gap.
+
+:func:`mckinley_transform` is the program transformation the
+``mckinley`` pipeline pass runs; :func:`mckinley_compile` is the
+historical one-call front that also assembles the
+:class:`~repro.core.pipeline.CompiledVariant`.
 """
 
 from __future__ import annotations
 
-from ..core.fusion import FusionOptions, fuse_program
+from functools import partial
+
+from ..core.fusion import FusionOptions, FusionReport, fuse_program
 from ..core.pipeline import CompiledVariant
 from ..core.regroup import default_layout
 from ..lang import Program, validate
@@ -26,15 +33,20 @@ def mckinley_options() -> FusionOptions:
     )
 
 
-def mckinley_compile(program: Program, stages: dict) -> CompiledVariant:
+def mckinley_transform(program: Program) -> tuple[Program, FusionReport]:
+    """Inline + cleanup + identical-bounds-only fusion."""
     p = validate(simplify_program(inline_procedures(program)))
     fused, report = fuse_program(p, max_levels=8, options=mckinley_options())
-    fused = validate(simplify_program(fused))
+    return validate(simplify_program(fused)), report
+
+
+def mckinley_compile(program: Program, stages: dict) -> CompiledVariant:
+    fused, report = mckinley_transform(program)
     stages["mckinley"] = fused.stats()
     return CompiledVariant(
         "mckinley",
         fused,
-        lambda params: default_layout(fused, params),
+        partial(default_layout, fused),
         fusion_report=report,
         stages=stages,
     )

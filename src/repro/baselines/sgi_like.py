@@ -15,9 +15,15 @@ This stand-in therefore performs:
   left untouched;
 * inter-array padding in the layout, staggering base offsets to spread
   cache-set pressure.
+
+:func:`sgi_transform` is the program transformation the ``sgi`` pipeline
+pass runs; :func:`sgi_compile` is the historical one-call front that also
+assembles the :class:`~repro.core.pipeline.CompiledVariant`.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from ..core.fusion import FusionOptions
 from ..core.pipeline import CompiledVariant
@@ -26,7 +32,8 @@ from ..lang import Program, validate
 from ..transform import inline_procedures, simplify_program
 
 
-def sgi_compile(program: Program, stages: dict) -> CompiledVariant:
+def sgi_transform(program: Program) -> Program:
+    """Inline + cleanup + intra-nest-only fusion (no layout decisions)."""
     p = validate(simplify_program(inline_procedures(program)))
     # local-only fusion: skip level 1 by fusing nothing at the top —
     # restrict to inner levels by running full fusion per top-level nest
@@ -45,11 +52,15 @@ def sgi_compile(program: Program, stages: dict) -> CompiledVariant:
             body.append(engine.descend(stmt, 1, tuple(p.params), assume))
         else:
             body.append(stmt)
-    p = validate(simplify_program(p.with_body(body)))
+    return validate(simplify_program(p.with_body(body)))
+
+
+def sgi_compile(program: Program, stages: dict) -> CompiledVariant:
+    p = sgi_transform(program)
     stages["sgi"] = p.stats()
     return CompiledVariant(
         "sgi",
         p,
-        lambda params: padded_layout(p, params),
+        partial(padded_layout, p),
         stages=stages,
     )

@@ -47,7 +47,15 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .core import OPT_LEVELS, compile_variant
+from .core import OPT_LEVELS, compile_pipeline, compile_variant
+from .core.pm import (
+    PIPELINES,
+    custom_pipeline,
+    describe_pipeline,
+    known_levels,
+    lint_passes,
+    resolve_pipeline,
+)
 from .harness import (
     NORMALIZED_HEADERS,
     TIMING_HEADERS,
@@ -90,6 +98,14 @@ def _parse_params(items: Optional[Sequence[str]]) -> dict[str, int]:
     return out
 
 
+def _parse_passes(args: argparse.Namespace):
+    """The ``--passes a,b,c`` override as a pipeline spec (or None)."""
+    names = getattr(args, "passes", None)
+    if not names:
+        return None
+    return custom_pipeline([n.strip() for n in names.split(",")])
+
+
 def cmd_fuse(args: argparse.Namespace) -> int:
     program = _load_program(args.file)
     variant = compile_variant(program, args.level)
@@ -117,18 +133,22 @@ def cmd_regroup(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    pipeline = _parse_passes(args)
     levels = args.levels.split(",")
-    unknown = [
-        lv for lv in levels if lv not in OPT_LEVELS and not lv.endswith("+regroup")
-    ]
-    if unknown:
-        raise SystemExit(f"unknown levels: {unknown}; see 'repro levels'")
+    if pipeline is None:
+        unknown = [lv for lv in levels if lv not in known_levels()]
+        if unknown:
+            raise SystemExit(
+                f"unknown levels: {unknown}; known levels: "
+                f"{', '.join(known_levels())} (see 'repro levels')"
+            )
     cache = TraceCache(args.cache_dir) if args.cache else None
     if args.target in APPLICATIONS:
         results = run(
             RunRequest(
                 program=args.target,
                 levels=levels,
+                pipeline=pipeline,
                 params=_parse_params(args.param) or None,
                 steps=args.steps,
                 engine=args.engine,
@@ -146,6 +166,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             RunRequest(
                 program=program,
                 levels=levels,
+                pipeline=pipeline,
                 params=params,
                 machine=machine_for(MachineSpec()),
                 steps=args.steps if args.steps is not None else 1,
@@ -247,6 +268,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         RunRequest(
             program=target,
             levels=(args.level,),
+            pipeline=_parse_passes(args),
             params=params,
             machine=machine,
             steps=args.steps,
@@ -283,10 +305,39 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(format_span_tree(result.spans, title=title))
     print()
     print(format_metric_delta(result.metrics))
+    summary = _analysis_cache_summary(result.metrics)
+    if summary:
+        print()
+        print(summary)
     print(
         f"\ntotal {result.seconds:.3f}s | trace {result.trace_length:,} accesses"
     )
     return 0
+
+
+def _analysis_cache_summary(delta) -> str:
+    """One-look analysis-cache effectiveness (per kind) from a metrics delta."""
+    counters = delta.get("counters", {}) if delta else {}
+    total = {e: int(counters.get(f"analysis.cache.{e}", 0))
+             for e in ("hits", "misses", "evictions")}
+    if not any(total.values()):
+        return ""
+    kinds = sorted(
+        {k.split(".")[2] for k in counters
+         if k.startswith("analysis.cache.") and k.count(".") == 3}
+    )
+    parts = []
+    for kind in kinds:
+        h, m, e = (int(counters.get(f"analysis.cache.{kind}.{ev}", 0))
+                   for ev in ("hits", "misses", "evictions"))
+        parts.append(f"{kind} {h}h/{m}m/{e}e")
+    lookups = total["hits"] + total["misses"]
+    rate = 100.0 * total["hits"] / lookups if lookups else 0.0
+    return (
+        f"analysis cache: {total['hits']} hits, {total['misses']} misses, "
+        f"{total['evictions']} evictions ({rate:.0f}% hit rate)\n"
+        f"  per kind: " + "; ".join(parts)
+    )
 
 
 def cmd_runs(args: argparse.Namespace) -> int:
@@ -395,7 +446,8 @@ def cmd_verify_pass(args: argparse.Namespace) -> int:
         return 1 if bag.has_errors() else 0
 
     targets = [args.target] if args.target else sorted(APPLICATIONS)
-    levels = args.levels.split(",")
+    pipeline = _parse_passes(args)
+    levels = [pipeline.name] if pipeline is not None else args.levels.split(",")
     results: list[dict[str, object]] = []
     failures = 0
     for target in targets:
@@ -403,7 +455,10 @@ def cmd_verify_pass(args: argparse.Namespace) -> int:
         for level in levels:
             verifier = PassVerifier(program, params, steps=args.steps)
             try:
-                compile_variant(program, level, verify=verifier)
+                if pipeline is not None:
+                    compile_pipeline(program, pipeline, verify=verifier)
+                else:
+                    compile_variant(program, level, verify=verifier)
                 error = None
             except PassLegalityError as exc:
                 failures += 1
@@ -450,18 +505,26 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_levels(_args: argparse.Namespace) -> int:
-    descriptions = {
-        "noopt": "inline only (the measured original)",
-        "sgi": "SGI-like local baseline: intra-nest fusion + padding",
-        "mckinley": "restricted fusion (identical bounds, no enablers)",
-        "fusion1": "preliminary passes + 1-level reuse-based fusion",
-        "fusion": "preliminary passes + full multi-level fusion",
-        "regroup": "data regrouping without fusion (ablation)",
-        "new": "the paper's strategy: fusion + regrouping",
-    }
     for level in OPT_LEVELS:
-        print(f"  {level:10s} {descriptions[level]}")
+        print(f"  {level:10s} {PIPELINES[level].description}")
     print("  (compound levels like fusion1+regroup are also accepted)")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Introspect the pass-pipeline registry."""
+    if args.lint:
+        bag = lint_passes()
+        print(bag.render())
+        return 1 if bag.has_errors() or (args.strict and bag.warnings) else 0
+    if args.describe:
+        spec = resolve_pipeline(args.describe)
+        print(describe_pipeline(spec))
+        return 0
+    for name, spec in PIPELINES.items():
+        passes = " -> ".join(s.describe() for s in spec.steps)
+        print(f"  {name:16s} {spec.description}")
+        print(f"  {'':16s}   {passes}")
     return 0
 
 
@@ -507,6 +570,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true", help="use the on-disk trace/result cache"
     )
     cache_args.add_argument("--cache-dir", default=None, help="cache directory")
+    passes_args = argparse.ArgumentParser(add_help=False)
+    passes_args.add_argument(
+        "--passes", default=None, metavar="P1,P2,...",
+        help="compile through this comma-separated pass list instead of a level "
+        "(see 'repro pipeline --list' for registered passes)",
+    )
 
     fuse = sub.add_parser("fuse", help="transform a mini-language source file")
     fuse.add_argument("file")
@@ -523,7 +592,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser(
         "report",
         help="measure optimization levels",
-        parents=[params_args, engine_args, verify_args, cache_args],
+        parents=[params_args, engine_args, verify_args, cache_args, passes_args],
     )
     report.add_argument("target", help="registry app name or source file")
     report.add_argument("--levels", default="noopt,fusion,new")
@@ -535,7 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile",
         help="span-tree profile of one (program, level) run",
-        parents=[params_args, engine_args, verify_args, cache_args],
+        parents=[params_args, engine_args, verify_args, cache_args, passes_args],
     )
     profile.add_argument("target", help="registry app name or source file")
     profile.add_argument("--level", default="new", help="optimization level")
@@ -595,7 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser(
         "verify-pass",
         help="certify that optimization passes preserve all dependences",
-        parents=[params_args],
+        parents=[params_args, passes_args],
     )
     verify.add_argument(
         "target", nargs="?",
@@ -611,6 +680,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     levels = sub.add_parser("levels", help="list optimization levels")
     levels.set_defaults(fn=cmd_levels)
+
+    pipeline = sub.add_parser(
+        "pipeline", help="introspect the pass-pipeline registry"
+    )
+    pipeline.add_argument(
+        "--list", action="store_true",
+        help="list registered pipelines with their pass sequences (default)",
+    )
+    pipeline.add_argument(
+        "--describe", metavar="NAME",
+        help="per-pass detail for one pipeline (options, preserved analyses)",
+    )
+    pipeline.add_argument(
+        "--lint", action="store_true",
+        help="lint the pass registry (L201: missing preserves/invalidates)",
+    )
+    pipeline.add_argument(
+        "--strict", action="store_true", help="lint warnings also fail (exit 1)"
+    )
+    pipeline.set_defaults(fn=cmd_pipeline)
 
     apps = sub.add_parser("apps", help="list bundled applications")
     apps.set_defaults(fn=cmd_apps)

@@ -5,8 +5,16 @@ from .fusion import FusionOptions, FusionReport, fuse_level, fuse_program
 from .pipeline import (
     OPT_LEVELS,
     CompiledVariant,
+    compile_pipeline,
     compile_variant,
     preliminary,
+)
+from .pm import (
+    PIPELINES,
+    PassManager,
+    PipelineSpec,
+    known_levels,
+    resolve_pipeline,
 )
 from .regroup import (
     Layout,
@@ -23,9 +31,15 @@ __all__ = [
     "FusionReport",
     "Layout",
     "OPT_LEVELS",
+    "PIPELINES",
+    "PassManager",
+    "PipelineSpec",
     "RegroupOptions",
     "RegroupPlan",
+    "compile_pipeline",
     "compile_variant",
+    "known_levels",
+    "resolve_pipeline",
     "default_layout",
     "fuse_level",
     "fuse_program",

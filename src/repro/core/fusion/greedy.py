@@ -24,12 +24,12 @@ from ...analysis import (
     Conflict,
     ConflictKind,
     RefAccess,
-    compute_alignment,
     depends,
     embed_after,
     embed_before,
     shares_data,
 )
+from ...analysis.manager import cached_alignment
 from ...lang import Assumptions, DEFAULT_PARAM_MIN, Loop, Stmt
 from ...transform.subst import FreshNames
 from .codegen import peel_iterations, unit_to_stmts
@@ -252,7 +252,7 @@ class _LevelFuser:
 
     def _fuse_loops(self, j: int, k: int) -> bool:
         pred, item = self.items[j], self.items[k]
-        result = compute_alignment(pred.accesses, item.accesses, self.assume)
+        result = cached_alignment(pred.accesses, item.accesses, self.assume)
         if result.fusible:
             if self.options.identical_bounds and not self._same_bounds(pred, item):
                 self.report.infusible.append(

@@ -20,11 +20,10 @@ from typing import Optional, Sequence, Union
 
 from ...analysis import (
     RefAccess,
-    collect_loop_accesses,
-    collect_stmt_accesses,
     symbolic_max,
     symbolic_min,
 )
+from ...analysis.manager import cached_loop_accesses, cached_stmt_accesses
 from ...lang import Affine, Loop, Stmt
 
 
@@ -112,21 +111,27 @@ class FusionUnit:
         )
 
     def accesses(self) -> list[RefAccess]:
-        """Frame-relative accesses of everything in the unit."""
+        """Frame-relative accesses of everything in the unit.
+
+        Member loops are immutable and survive unit re-merges unchanged,
+        so their per-loop collections go through the analysis cache: when
+        a pipeline run has an active manager, re-collecting a unit after
+        each greedy fusion step hits instead of re-walking every member.
+        """
         out: list[RefAccess] = []
         for slot in self.slots:
             if isinstance(slot, Member):
                 shift = Affine.constant(slot.shift)
-                for acc in collect_loop_accesses(slot.loop, self.fixed):
+                for acc in cached_loop_accesses(slot.loop, self.fixed):
                     out.append(acc.shifted(shift))
             else:
                 for stmt in slot.stmts:
-                    for acc in collect_stmt_accesses(stmt, self.fixed):
+                    for acc in cached_stmt_accesses(stmt, self.fixed):
                         out.append(
                             replace(acc, active_lo=slot.at, active_hi=slot.at)
                         )
         for stmt in self.loose:
-            out.extend(collect_stmt_accesses(stmt, self.fixed))
+            out.extend(cached_stmt_accesses(stmt, self.fixed))
         return out
 
     def hull(self, assume) -> Optional[tuple[Affine, Affine]]:

@@ -1,4 +1,4 @@
-"""The end-to-end global strategy (paper §4.1).
+"""The end-to-end global strategy (paper §4.1) — pass-manager front end.
 
 ``compile_variant`` runs a program through a named optimization level:
 
@@ -12,6 +12,13 @@
 * ``sgi`` — the SGI-compiler stand-in from :mod:`repro.baselines`;
 * ``mckinley`` — the restricted-fusion comparator from §5.
 
+Each level is a declarative :class:`~repro.core.pm.PipelineSpec` in the
+:data:`~repro.core.pm.PIPELINES` registry, executed by the
+:class:`~repro.core.pm.PassManager` (which owns spans, certification,
+and the per-run analysis cache).  ``compile_pipeline`` additionally
+accepts a custom pass-name list or an explicit spec; unknown level names
+raise :class:`~repro.lang.TransformError` listing the known levels.
+
 The result carries the transformed program, a layout factory (regrouping
 and padding are *layouts*, so they compose with any trace), and the
 transformation reports the benchmarks introspect (loop counts, array
@@ -20,47 +27,26 @@ counts — §4.4's structural numbers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
-from ..lang import Program, TransformError, validate
-from ..obs import current_collector, span
+from ..lang import Program, validate
 from ..verify import PassVerifier
-from ..transform import (
-    distribute_loops,
-    inline_procedures,
-    propagate_scalar_constants,
-    simplify_program,
-    split_arrays,
-    unroll_small_loops,
-)
-from .fusion import FusionOptions, FusionReport, fuse_program
-from .regroup import (
-    Layout,
-    RegroupOptions,
-    RegroupPlan,
-    default_layout,
-    regroup_plan,
+from .pm.manager import CompiledVariant, PassManager
+from .pm.passes import PassContext
+from .pm.pipelines import (
+    OPT_LEVELS,
+    PipelineSpec,
+    preliminary_steps,
+    resolve_pipeline,
 )
 
-#: the optimization levels the harness and benchmarks use
-OPT_LEVELS = ("noopt", "sgi", "mckinley", "fusion1", "fusion", "regroup", "new")
-
-
-@dataclass
-class CompiledVariant:
-    """A program compiled at one optimization level."""
-
-    level: str
-    program: Program
-    layout_factory: Callable[[Mapping[str, int]], Layout]
-    fusion_report: Optional[FusionReport] = None
-    regroup: Optional[RegroupPlan] = None
-    #: structural checkpoints along the pipeline (for §4.4-style tables)
-    stages: dict[str, dict] = field(default_factory=dict)
-
-    def layout(self, params: Mapping[str, int]) -> Layout:
-        return self.layout_factory(params)
+__all__ = [
+    "OPT_LEVELS",
+    "CompiledVariant",
+    "compile_pipeline",
+    "compile_variant",
+    "preliminary",
+]
 
 
 def preliminary(
@@ -77,48 +63,56 @@ def preliminary(
     every pass in turn (raising :class:`~repro.verify.PassLegalityError`
     on the first broken dependence).
     """
-
-    p = _pass("inline", inline_procedures, program, verifier=verifier)
-    p = _pass("unroll", unroll_small_loops, p, max_unroll, verifier=verifier)
-    p = _pass("split_arrays", split_arrays, p, max_unroll, verifier=verifier)
-    if distribute:
-        p = _pass("distribute", distribute_loops, p, verifier=verifier)
-    p = _pass("constprop", propagate_scalar_constants, p, verifier=verifier)
-    p = _pass("simplify", simplify_program, p, verifier=verifier)
+    ctx = PassContext(max_unroll=max_unroll)
+    manager = PassManager(verifier)
+    p = manager.run_passes(program, preliminary_steps(distribute), ctx)
     return validate(p)
 
 
-def _pass(name, fn, *args, verifier=None, strict=None, **kwargs) -> Program:
-    """Run one pass under a span; certify it when a verifier is active.
+def compile_pipeline(
+    program: Program,
+    pipeline: Union[str, Sequence[str], PipelineSpec],
+    fusion_options=None,
+    regroup_options=None,
+    max_unroll: int = 5,
+    verify: Union[bool, PassVerifier] = False,
+    verify_params: Optional[Mapping[str, int]] = None,
+) -> CompiledVariant:
+    """Compile ``program`` through ``pipeline``.
 
-    The span carries the resulting program's structural counts (loop
-    nests, arrays, statements) as attributes, so profiles show not only
-    how long a pass took but what it left behind.
+    ``pipeline`` may be a registered level name (strictly validated), an
+    explicit :class:`~repro.core.pm.PipelineSpec`, or a sequence of
+    registered pass names (the CLI's ``--passes`` form).
     """
-    with span(name) as sp:
-        result = fn(*args, **kwargs)
-        if current_collector() is not None and isinstance(result, Program):
-            stats = result.stats()
-            for key in ("loop_nests", "loops", "arrays", "statements"):
-                if key in stats:
-                    sp.attrs[key] = stats[key]
-    if verifier is not None:
-        checked = result.program if isinstance(result, CompiledVariant) else result
-        with span("verify", certifies=name):
-            verifier.check(name, checked, strict=strict)
-    return result
+    spec = resolve_pipeline(pipeline)
+    if isinstance(verify, PassVerifier):
+        verifier: Optional[PassVerifier] = verify
+    else:
+        verifier = PassVerifier(program, verify_params) if verify else None
+    ctx = PassContext(
+        level=spec.name,
+        max_unroll=max_unroll,
+        fusion_options=fusion_options,
+        regroup_options=regroup_options,
+    )
+    return PassManager(verifier).run(program, spec, ctx)
 
 
 def compile_variant(
     program: Program,
     level: str,
-    fusion_options: Optional[FusionOptions] = None,
-    regroup_options: Optional[RegroupOptions] = None,
+    fusion_options=None,
+    regroup_options=None,
     max_unroll: int = 5,
     verify: Union[bool, PassVerifier] = False,
     verify_params: Optional[Mapping[str, int]] = None,
 ) -> CompiledVariant:
     """Compile ``program`` at optimization level ``level``.
+
+    Backward-compatible front over :func:`compile_pipeline`.  ``level``
+    must name a registered pipeline (``repro pipeline --list``); loose
+    spellings the old prefix matching accepted (``fusionXYZ``) raise
+    :class:`~repro.lang.TransformError`.
 
     ``verify=True`` runs the pass-legality checker after every pass: the
     program is snapshotted at small concrete parameters
@@ -131,71 +125,12 @@ def compile_variant(
     only the *program* — layouts (regrouping, padding) relocate data
     without reordering accesses, so they need no certification.
     """
-    stages: dict[str, dict] = {"input": program.stats()}
-    if isinstance(verify, PassVerifier):
-        verifier: Optional[PassVerifier] = verify
-    else:
-        verifier = PassVerifier(program, verify_params) if verify else None
-    if level == "noopt":
-        p = _pass("inline", inline_procedures, program, verifier=verifier)
-        p = _pass("simplify", simplify_program, p, verifier=verifier)
-        p = validate(p)
-        return CompiledVariant(level, p, lambda params: default_layout(p, params), stages=stages)
-    if level == "sgi":
-        from ..baselines.sgi_like import sgi_compile
-
-        # baseline compilers run their own pass mix; certify them
-        # end to end (relaxed: they rewrite arithmetic like simplify)
-        variant = _pass(level, sgi_compile, program, stages,
-                        verifier=verifier, strict=False)
-        return variant
-    if level == "mckinley":
-        from ..baselines.mckinley import mckinley_compile
-
-        variant = _pass(level, mckinley_compile, program, stages,
-                        verifier=verifier, strict=False)
-        return variant
-
-    p = preliminary(program, max_unroll, distribute=level != "regroup",
-                    verifier=verifier)
-    stages["preliminary"] = p.stats()
-
-    if level in ("fusion", "fusion1", "new") or level.startswith("fusion"):
-        max_levels = 1 if level.startswith("fusion1") else 8
-        with span("fusion", max_levels=max_levels) as sp:
-            p, report = fuse_program(p, max_levels=max_levels, options=fusion_options)
-            if current_collector() is not None:
-                sp.attrs["loop_nests"] = p.loop_nest_count()
-        if verifier is not None:
-            with span("verify", certifies="fusion"):
-                verifier.check("fusion", p)
-        p = _pass("simplify", simplify_program, p, verifier=verifier)
-        p = validate(p)
-        stages["fused"] = p.stats()
-    else:
-        report = None
-
-    if level in ("regroup", "new") or level.endswith("+regroup"):
-        with span("regroup") as sp:
-            plan = regroup_plan(p, regroup_options)
-            sp.attrs["merged_arrays"] = plan.merged_array_count()
-        stages["regrouped"] = {"merged_arrays": plan.merged_array_count()}
-        final = p
-        return CompiledVariant(
-            level,
-            final,
-            plan.materialize,
-            fusion_report=report,
-            regroup=plan,
-            stages=stages,
-        )
-    if level in ("fusion", "fusion1"):
-        final = p
-        return CompiledVariant(
-            level,
-            final,
-            lambda params: default_layout(final, params),
-            fusion_report=report,
-            stages=stages,
-        )
-    raise TransformError(f"unknown optimization level {level!r}")
+    return compile_pipeline(
+        program,
+        level,
+        fusion_options=fusion_options,
+        regroup_options=regroup_options,
+        max_unroll=max_unroll,
+        verify=verify,
+        verify_params=verify_params,
+    )

@@ -1,0 +1,296 @@
+"""The ``Pass`` protocol and the process-wide pass registry.
+
+A *pass* is a named, metadata-carrying unit of program transformation.
+Its contract:
+
+``name``
+    stable identifier — the span name in profiles, the label the
+    verifier certifies under, and the token pipeline specs (and the CLI's
+    ``--passes``) refer to;
+``run(program, ctx, **options)``
+    the transformation itself; returns the new program (or the same
+    object for analysis-only passes such as ``regroup``) and may deposit
+    byproducts — fusion reports, regrouping plans, layout factories —
+    on the :class:`PassContext`;
+``preserves`` / ``invalidates``
+    analysis-invalidation metadata over :data:`~repro.analysis.manager.
+    ANALYSIS_KINDS`.  After the pass runs, the manager keeps exactly the
+    preserved kinds cached and evicts the rest.  Declaring *either* set
+    is mandatory for registered passes (lint code L201); a pass may
+    declare ``preserves=()`` to say, explicitly, "I invalidate
+    everything".
+``strict``
+    verifier strictness: ``False`` for passes that legitimately rewrite
+    arithmetic, ``None`` to use the verifier's by-name default;
+``certify``
+    whether the pass-legality verifier checks this pass at all
+    (``False`` only for analysis passes that do not touch the program).
+
+Passes are stateless; per-run inputs (unroll limits, fusion options)
+come from the :class:`PassContext` or from per-step ``options`` in the
+pipeline spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from ...analysis.manager import ANALYSIS_KINDS
+from ...lang import Program, TransformError
+
+#: analysis kinds every pass metadata declaration is validated against
+ALL_KINDS = frozenset(ANALYSIS_KINDS)
+
+#: identity-keyed object analyses: sound to keep across any pass that
+#: reuses IR sub-trees, because an identical object analyzes identically
+OBJECT_KINDS = frozenset({"loop_accesses", "stmt_accesses", "alignment"})
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may read or deposit during one pipeline run."""
+
+    level: str = ""
+    max_unroll: int = 5
+    fusion_options: Optional[object] = None
+    regroup_options: Optional[object] = None
+    #: structural checkpoints (the §4.4 tables read these)
+    stages: dict[str, dict] = field(default_factory=dict)
+    #: byproducts deposited by passes
+    fusion_report: Optional[object] = None
+    regroup_plan: Optional[object] = None
+    layout_factory: Optional[Callable] = None
+    #: the open span of the currently running pass (set by the manager)
+    _span: Optional[object] = None
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes to the running pass's span."""
+        if self._span is not None:
+            self._span.attrs.update(attrs)
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """Structural protocol every registered pass satisfies."""
+
+    name: str
+    description: str
+    preserves: Optional[frozenset]
+    invalidates: Optional[frozenset]
+    strict: Optional[bool]
+    certify: bool
+
+    def run(self, program: Program, ctx: PassContext, **options) -> Program: ...
+
+
+@dataclass(frozen=True)
+class FunctionPass:
+    """A pass defined by a plain function ``fn(program, ctx, **options)``."""
+
+    name: str
+    fn: Callable[..., Program]
+    description: str = ""
+    preserves: Optional[frozenset] = None
+    invalidates: Optional[frozenset] = None
+    strict: Optional[bool] = None
+    certify: bool = True
+
+    def run(self, program: Program, ctx: PassContext, **options) -> Program:
+        return self.fn(program, ctx, **options)
+
+
+def effective_preserves(p: Pass) -> frozenset:
+    """The analysis kinds kept cached across ``p``; conservative default.
+
+    ``preserves`` wins when declared; otherwise the complement of
+    ``invalidates``; a pass with neither declared preserves nothing.
+    """
+    if p.preserves is not None:
+        return frozenset(p.preserves)
+    if p.invalidates is not None:
+        return ALL_KINDS - frozenset(p.invalidates)
+    return frozenset()
+
+
+def declares_metadata(p: Pass) -> bool:
+    return p.preserves is not None or p.invalidates is not None
+
+
+#: the process-wide pass registry pipeline specs resolve against
+PASSES: dict[str, Pass] = {}
+
+
+def register_pass(p: Pass) -> Pass:
+    """Register ``p`` under ``p.name``; validates its analysis metadata."""
+    if p.name in PASSES:
+        raise TransformError(f"pass {p.name!r} is already registered")
+    for attr in ("preserves", "invalidates"):
+        kinds = getattr(p, attr)
+        if kinds is not None:
+            unknown = frozenset(kinds) - ALL_KINDS
+            if unknown:
+                raise TransformError(
+                    f"pass {p.name!r} {attr} unknown analysis kinds: "
+                    f"{sorted(unknown)}"
+                )
+    PASSES[p.name] = p
+    return p
+
+
+def get_pass(name: str) -> Pass:
+    try:
+        return PASSES[name]
+    except KeyError:
+        raise TransformError(
+            f"unknown pass {name!r}; registered passes: "
+            f"{', '.join(sorted(PASSES))}"
+        ) from None
+
+
+def pass_names() -> tuple[str, ...]:
+    return tuple(sorted(PASSES))
+
+
+# -- built-in passes ----------------------------------------------------------
+#
+# §4.1 preliminary transformations.  ``inline``/``unroll``/``split_arrays``
+# rewrite subscripts wholesale, so they declare (explicitly) that they
+# invalidate everything; the later passes reuse unchanged IR sub-trees,
+# so the identity-keyed object analyses survive them.
+
+
+def _inline(program: Program, ctx: PassContext) -> Program:
+    from ...transform import inline_procedures
+
+    return inline_procedures(program)
+
+
+def _unroll(program: Program, ctx: PassContext) -> Program:
+    from ...transform import unroll_small_loops
+
+    return unroll_small_loops(program, ctx.max_unroll)
+
+
+def _split_arrays(program: Program, ctx: PassContext) -> Program:
+    from ...transform import split_arrays
+
+    return split_arrays(program, ctx.max_unroll)
+
+
+def _distribute(program: Program, ctx: PassContext) -> Program:
+    from ...transform import distribute_loops
+
+    return distribute_loops(program)
+
+
+def _constprop(program: Program, ctx: PassContext) -> Program:
+    from ...transform import propagate_scalar_constants
+
+    return propagate_scalar_constants(program)
+
+
+def _simplify(program: Program, ctx: PassContext) -> Program:
+    from ...transform import simplify_program
+
+    return simplify_program(program)
+
+
+def _fusion(program: Program, ctx: PassContext, max_levels: int = 8) -> Program:
+    from ..fusion import fuse_program
+
+    fused, report = fuse_program(
+        program, max_levels=max_levels, options=ctx.fusion_options
+    )
+    ctx.fusion_report = report
+    return fused
+
+
+def _regroup(program: Program, ctx: PassContext) -> Program:
+    """Plan data regrouping; the *program* is untouched (layouts relocate
+    data without reordering accesses, so no certification either)."""
+    from ..regroup import regroup_plan
+
+    plan = regroup_plan(program, ctx.regroup_options)
+    ctx.regroup_plan = plan
+    ctx.layout_factory = plan.materialize
+    ctx.annotate(merged_arrays=plan.merged_array_count())
+    ctx.stages["regrouped"] = {"merged_arrays": plan.merged_array_count()}
+    return program
+
+
+def _sgi(program: Program, ctx: PassContext) -> Program:
+    from ...baselines.sgi_like import sgi_transform
+    from ..regroup import padded_layout
+
+    p = sgi_transform(program)
+    ctx.stages["sgi"] = p.stats()
+    ctx.layout_factory = partial(padded_layout, p)
+    return p
+
+
+def _mckinley(program: Program, ctx: PassContext) -> Program:
+    from ...baselines.mckinley import mckinley_transform
+
+    p, report = mckinley_transform(program)
+    ctx.fusion_report = report
+    ctx.stages["mckinley"] = p.stats()
+    return p
+
+
+register_pass(FunctionPass(
+    "inline", _inline,
+    description="inline every procedure call (§4.1 step 1)",
+    invalidates=ALL_KINDS,
+))
+register_pass(FunctionPass(
+    "unroll", _unroll,
+    description="fully unroll small constant-trip loops (§4.1 step 2)",
+    invalidates=ALL_KINDS,
+))
+register_pass(FunctionPass(
+    "split_arrays", _split_arrays,
+    description="split small leading array dimensions into scalars/planes",
+    invalidates=ALL_KINDS,
+))
+register_pass(FunctionPass(
+    "distribute", _distribute,
+    description="maximal loop distribution (Allen–Kennedy SCCs)",
+    preserves=OBJECT_KINDS,
+))
+register_pass(FunctionPass(
+    "constprop", _constprop,
+    description="propagate scalar constants (relaxed certification)",
+    preserves=OBJECT_KINDS,
+    strict=False,
+))
+register_pass(FunctionPass(
+    "simplify", _simplify,
+    description="fold constants and drop dead scalars (relaxed certification)",
+    preserves=OBJECT_KINDS,
+    strict=False,
+))
+register_pass(FunctionPass(
+    "fusion", _fusion,
+    description="reuse-based multi-level loop fusion (§2.3, Fig. 6)",
+    preserves=OBJECT_KINDS,
+))
+register_pass(FunctionPass(
+    "regroup", _regroup,
+    description="multi-level data regrouping plan + layout (§3, Fig. 8)",
+    preserves=ALL_KINDS,
+    certify=False,
+))
+register_pass(FunctionPass(
+    "sgi", _sgi,
+    description="SGI-like baseline: intra-nest fusion + inter-array padding",
+    invalidates=ALL_KINDS,
+    strict=False,
+))
+register_pass(FunctionPass(
+    "mckinley", _mckinley,
+    description="restricted fusion baseline (identical bounds, no enablers)",
+    invalidates=ALL_KINDS,
+    strict=False,
+))

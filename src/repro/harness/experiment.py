@@ -20,7 +20,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
 
-from ..core import CompiledVariant, compile_variant
+from ..core import CompiledVariant, compile_pipeline, compile_variant
 from ..core.fusion import FusionOptions
 from ..core.regroup import RegroupOptions
 from ..interp import trace_program
@@ -113,6 +113,7 @@ def measure_variant(
     cache: Optional[TraceCache] = None,
     verify: Union[bool, PassVerifier] = False,
     result_cache: bool = True,
+    pipeline: Optional[object] = None,
 ) -> VariantResult:
     """Compile at ``level``, trace, and simulate one program variant.
 
@@ -124,18 +125,30 @@ def measure_variant(
     ``verify`` threads a pass-legality check through
     :func:`~repro.core.compile_variant` (True, or a
     :class:`~repro.verify.PassVerifier` whose history the caller wants).
+    ``pipeline`` overrides ``level`` for compilation: a registered
+    pipeline name, a pass-name sequence, or a
+    :class:`~repro.core.PipelineSpec` (``level`` stays the row label).
     Per-stage seconds land in :attr:`VariantResult.timings`.
     """
     engine = engine or default_engine()
     timings: dict[str, float] = {}
     with span("compile", level=level) as sp:
-        variant = compile_variant(
-            program,
-            level,
-            fusion_options=fusion_options,
-            regroup_options=regroup_options,
-            verify=verify,
-        )
+        if pipeline is not None:
+            variant = compile_pipeline(
+                program,
+                pipeline,
+                fusion_options=fusion_options,
+                regroup_options=regroup_options,
+                verify=verify,
+            )
+        else:
+            variant = compile_variant(
+                program,
+                level,
+                fusion_options=fusion_options,
+                regroup_options=regroup_options,
+                verify=verify,
+            )
     timings["compile"] = sp.duration_s
     validate(variant.program)
     layout = variant.layout(params)

@@ -40,6 +40,11 @@ class RunRequest:
         :class:`~repro.lang.Program`;
     ``levels``
         one level, a comma-separated string, or a sequence of levels;
+    ``pipeline``
+        compile through a specific pipeline instead of ``levels``: a
+        registered pipeline name, a sequence of registered pass names,
+        or a :class:`~repro.core.PipelineSpec`.  Custom (unnamed)
+        pipelines run serially only;
     ``params`` / ``machine`` / ``steps``
         default to the registry entry's values (``machine`` also accepts
         a machine name, a :class:`~repro.programs.registry.MachineSpec`,
@@ -61,6 +66,7 @@ class RunRequest:
 
     program: Union[str, Program]
     levels: Union[str, Sequence[str]] = ("noopt",)
+    pipeline: Optional[object] = None
     params: Optional[Mapping[str, int]] = None
     machine: Optional[Union[str, MachineConfig, object]] = None
     steps: Optional[int] = None
@@ -144,7 +150,16 @@ def _resolve_machine(machine, entry) -> MachineConfig:
 
 def run(request: RunRequest) -> RunResult:
     """Execute one experiment request; the single front door."""
-    levels = _resolve_levels(request.levels)
+    from ..core.pm import resolve_pipeline
+
+    pipeline_spec = None
+    if request.pipeline is not None:
+        pipeline_spec = resolve_pipeline(request.pipeline)
+        levels = [pipeline_spec.name]
+    else:
+        levels = _resolve_levels(request.levels)
+        for level in levels:
+            resolve_pipeline(level)  # strict: bogus names raise here
     if not levels:
         raise ReproError("RunRequest.levels is empty")
     cache = _resolve_cache(request.cache)
@@ -236,6 +251,7 @@ def run(request: RunRequest) -> RunResult:
                 cache=cache,
                 verify=request.verify,
                 result_cache=request.result_cache,
+                pipeline=pipeline_spec,
             )
         result.seconds = collector.seconds
         result.spans = collector.events

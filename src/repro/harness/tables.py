@@ -46,8 +46,13 @@ def _fmt(value: object) -> str:
 def normalized_rows(
     results: Sequence, base_level: str = "noopt"
 ) -> list[list[object]]:
-    """Fig. 10-style rows: metrics normalized to the base level."""
-    base = next(r for r in results if r.level == base_level)
+    """Fig. 10-style rows: metrics normalized to the base level.
+
+    When no result carries ``base_level`` (e.g. a custom ``--passes``
+    pipeline), the first result becomes the base — its normalized
+    columns read 1.00 and the rest are relative to it.
+    """
+    base = next((r for r in results if r.level == base_level), results[0])
     rows: list[list[object]] = []
     for r in results:
         norm = r.stats.normalized_to(base.stats)

@@ -1,0 +1,116 @@
+"""Shared fixture logic for the pinned pipeline-equivalence suite.
+
+``variant_fingerprint`` renders everything an optimization level
+produces — the transformed program (printer output), the concrete layout
+placements at a small size, the fusion report, the regrouping plan, and
+the recorded stage checkpoints — into one deterministic text blob.  The
+golden files under ``golden/pipelines/`` pin these blobs for every
+program x level variant; the pass-manager refactor (and any future one)
+must reproduce them bit for bit.
+
+Run ``python tests/integration/golden_pipelines.py`` to (re)generate the
+golden files from the current implementation.  Do that only when an
+intentional behavior change is being made, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "pipelines"
+
+#: small concrete sizes for layout materialization (fft bakes its size in)
+GOLDEN_PARAMS = {
+    "adi": {"N": 11},
+    "sp": {"N": 9},
+    "sweep3d": {"N": 8},
+    "swim": {"N": 11},
+    "tomcatv": {"N": 11},
+    "fft": {},
+}
+
+GOLDEN_LEVELS = (
+    "noopt",
+    "sgi",
+    "mckinley",
+    "fusion1",
+    "fusion",
+    "regroup",
+    "new",
+)
+
+
+def build_golden_program(name):
+    from repro.lang import validate
+    from repro.programs import build_fft, registry
+
+    if name == "fft":
+        return validate(build_fft(16))
+    return validate(registry.get(name).build())
+
+
+def reset_fusion_uids() -> None:
+    """Pin the ``fusedN`` label counter so goldens are order-independent.
+
+    ``_Item`` numbers fused units with a process-global counter; resetting
+    it before each compile makes labels a function of the (program, level)
+    pair alone.
+    """
+    from repro.core.fusion import greedy
+
+    greedy._Item._uid = 0
+
+
+def variant_fingerprint(variant, params) -> str:
+    from repro.lang import to_source
+
+    lines = [f"level: {variant.level}"]
+    lines.append(f"stages: {', '.join(variant.stages)}")
+    if variant.fusion_report is not None:
+        lines.append("fusion report:")
+        lines.append("  " + variant.fusion_report.summary().replace("\n", "\n  "))
+    if variant.regroup is not None:
+        lines.append("regroup plan:")
+        lines.append("  " + variant.regroup.describe().replace("\n", "\n  "))
+    layout = variant.layout(params)
+    lines.append(f"layout at {dict(sorted(params.items()))}:")
+    for name, placement in sorted(layout.placements.items()):
+        lines.append(
+            f"  {name}: offset {placement.offset}, "
+            f"strides {tuple(placement.strides)}"
+        )
+    lines.append("program:")
+    lines.append(to_source(variant.program).rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def compile_fingerprint(name: str, level: str) -> str:
+    from repro.core import compile_variant
+
+    program = build_golden_program(name)
+    reset_fusion_uids()
+    variant = compile_variant(program, level)
+    return variant_fingerprint(variant, GOLDEN_PARAMS[name])
+
+
+def golden_path(name: str, level: str) -> Path:
+    return GOLDEN_DIR / f"{name}-{level.replace('+', '_')}.txt"
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    count = 0
+    for name in sorted(GOLDEN_PARAMS):
+        for level in GOLDEN_LEVELS:
+            text = compile_fingerprint(name, level)
+            golden_path(name, level).write_text(text)
+            count += 1
+            print(f"wrote {golden_path(name, level)}")
+    print(f"{count} golden files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    raise SystemExit(main())

@@ -227,3 +227,60 @@ def test_report_verify_flag(kernel_file, capsys):
         == 0
     )
     assert "level" in capsys.readouterr().out
+
+
+def test_pipeline_list_enumerates_every_level(capsys):
+    from repro.core import OPT_LEVELS
+
+    assert main(["pipeline", "--list"]) == 0
+    out = capsys.readouterr().out
+    for level in OPT_LEVELS:
+        assert level in out
+    assert "inline -> " in out  # pass sequences are shown
+
+
+def test_pipeline_describe(capsys):
+    assert main(["pipeline", "--describe", "new"]) == 0
+    out = capsys.readouterr().out
+    assert "fusion(max_levels=8)" in out
+    assert "preserves:" in out
+    assert "checkpoint: preliminary" in out
+
+
+def test_pipeline_describe_unknown_level(capsys):
+    assert main(["pipeline", "--describe", "fusionXYZ"]) == 1
+    assert "known levels" in capsys.readouterr().err
+
+
+def test_pipeline_lint_clean(capsys):
+    assert main(["pipeline", "--lint"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_report_with_passes_override(kernel_file, capsys):
+    assert (
+        main(["report", kernel_file, "-p", "N=64", "--passes", "inline,simplify"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "passes:inline,simplify" in out
+
+
+def test_report_with_bogus_pass_name(kernel_file, capsys):
+    assert main(["report", kernel_file, "-p", "N=64", "--passes", "warpdrive"]) == 1
+    assert "registered passes" in capsys.readouterr().err
+
+
+def test_profile_shows_analysis_cache_summary(capsys):
+    assert main(["profile", "adi", "--level", "new", "-p", "N=40",
+                 "--no-memory"]) == 0
+    out = capsys.readouterr().out
+    assert "analysis cache:" in out
+    assert "hit rate" in out
+    assert "loop_accesses" in out
+
+
+def test_verify_pass_with_passes_override(kernel_file, capsys):
+    assert main(["verify-pass", kernel_file, "--passes", "inline,distribute"]) == 0
+    out = capsys.readouterr().out
+    assert "passes:inline,distribute" in out and "certified" in out

@@ -1,0 +1,115 @@
+"""Unit tests for the identity-keyed analysis cache."""
+
+import pytest
+
+from repro.analysis.manager import (
+    ANALYSIS_KINDS,
+    AnalysisManager,
+    analysis_scope,
+    cached_loop_accesses,
+    current_analysis_manager,
+)
+from repro.lang import parse, validate
+
+SOURCE = """
+program cachecheck
+param N
+real A[N], B[N]
+for i = 1, N { A[i] = f(B[i]) }
+for i = 1, N { B[i] = g(A[i]) }
+"""
+
+
+def build():
+    return validate(parse(SOURCE))
+
+
+def test_get_memoizes_and_counts():
+    am = AnalysisManager()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    obj = object()
+    key = (id(obj),)
+    assert am.get("loop_accesses", key, (obj,), compute) == "value"
+    assert am.get("loop_accesses", key, (obj,), compute) == "value"
+    assert len(calls) == 1
+    assert am.hits == 1 and am.misses == 1
+    assert am.kind_stats["loop_accesses"]["hits"] == 1
+    assert am.kind_stats["loop_accesses"]["misses"] == 1
+
+
+def test_unknown_kind_rejected():
+    am = AnalysisManager()
+    with pytest.raises(ValueError, match="unknown analysis kind"):
+        am.get("bogus", (), (), lambda: None)
+    with pytest.raises(ValueError, match="unknown analysis kinds"):
+        am.invalidate(frozenset({"bogus"}))
+
+
+def test_preserved_kind_survives_invalidation():
+    am = AnalysisManager()
+    obj = object()
+    am.get("loop_accesses", (id(obj),), (obj,), lambda: "kept")
+    am.get("dependence_graph", (id(obj),), (obj,), lambda: "dropped")
+    am.invalidate(frozenset({"loop_accesses"}))
+    assert am.cached_kinds() == {"loop_accesses": 1}
+    assert am.evictions == 1
+    assert am.kind_stats["dependence_graph"]["evictions"] == 1
+    # the preserved entry still hits; the evicted one recomputes
+    assert am.get("loop_accesses", (id(obj),), (obj,), lambda: "new") == "kept"
+    assert (
+        am.get("dependence_graph", (id(obj),), (obj,), lambda: "recomputed")
+        == "recomputed"
+    )
+    assert am.hits == 1
+    assert am.misses == 3
+
+
+def test_invalidate_all_by_default():
+    am = AnalysisManager()
+    for kind in ANALYSIS_KINDS:
+        am.get(kind, ("k",), (), lambda: kind)
+    am.invalidate()
+    assert am.cached_kinds() == {}
+    assert am.evictions == len(ANALYSIS_KINDS)
+
+
+def test_scope_installs_and_restores():
+    assert current_analysis_manager() is None
+    am = AnalysisManager()
+    with analysis_scope(am) as installed:
+        assert installed is am
+        assert current_analysis_manager() is am
+        inner = AnalysisManager()
+        with analysis_scope(inner):
+            assert current_analysis_manager() is inner
+        assert current_analysis_manager() is am
+    assert current_analysis_manager() is None
+
+
+def test_cached_entry_point_passthrough_without_manager():
+    p = build()
+    loop = p.body[0]
+    # no active manager: plain computation, same result as with one
+    direct = cached_loop_accesses(loop, ())
+    am = AnalysisManager()
+    with analysis_scope(am):
+        first = cached_loop_accesses(loop, ())
+        second = cached_loop_accesses(loop, ())
+    assert am.hits == 1 and am.misses == 1
+    assert first is second  # memoized object
+    assert [str(a) for a in direct] == [str(a) for a in first]
+
+
+def test_identity_keying_distinguishes_equal_objects():
+    p = build()
+    q = build()  # structurally identical, different objects
+    am = AnalysisManager()
+    with analysis_scope(am):
+        cached_loop_accesses(p.body[0], ())
+        cached_loop_accesses(q.body[0], ())
+    assert am.misses == 2 and am.hits == 0

@@ -1,0 +1,90 @@
+"""RunRequest(pipeline=...) and analysis-cache effectiveness end to end."""
+
+import pytest
+
+from repro.harness import RunRequest, run
+from repro.lang import TransformError
+from repro.obs import metrics
+from repro.programs import registry
+
+SMALL = {"N": 16}
+
+
+def _hits_delta(fn):
+    before = metrics.snapshot()["counters"].get("analysis.cache.hits", 0)
+    out = fn()
+    after = metrics.snapshot()["counters"].get("analysis.cache.hits", 0)
+    return out, after - before
+
+
+class TestRunPipeline:
+    def test_named_pipeline_matches_level(self):
+        by_level = run(
+            RunRequest(program="adi", levels=("new",), params=SMALL, steps=1)
+        )
+        by_pipeline = run(
+            RunRequest(program="adi", pipeline="new", params=SMALL, steps=1)
+        )
+        assert by_pipeline[0].level == "new"
+        assert by_level.rows() == by_pipeline.rows()
+
+    def test_pass_list_pipeline_runs_serially(self):
+        result = run(
+            RunRequest(
+                program="adi",
+                pipeline=["inline", "simplify"],
+                params=SMALL,
+                steps=1,
+            )
+        )
+        assert result[0].level == "passes:inline,simplify"
+        # pass-list compile leaves loops unfused; same trace as noopt
+        noopt = run(
+            RunRequest(program="adi", levels=("noopt",), params=SMALL, steps=1)
+        )
+        assert result[0].trace_length == noopt[0].trace_length
+
+    def test_spec_object_pipeline(self):
+        from repro.core.pm import PIPELINES
+
+        result = run(
+            RunRequest(
+                program="adi", pipeline=PIPELINES["fusion"], params=SMALL, steps=1
+            )
+        )
+        assert result[0].level == "fusion"
+
+    def test_bogus_pipeline_and_level_names_raise(self):
+        with pytest.raises(TransformError, match="known levels"):
+            run(RunRequest(program="adi", pipeline="fusionXYZ", params=SMALL))
+        with pytest.raises(TransformError, match="known levels"):
+            run(RunRequest(program="adi", levels=("fusionBOGUS",), params=SMALL))
+
+
+class TestCacheEffectiveness:
+    """ISSUE acceptance: compiling ``new`` shows analysis-cache hits > 0."""
+
+    @pytest.mark.parametrize("app", ["adi", "sp"])
+    def test_compile_new_hits_analysis_cache(self, app):
+        from repro.core import compile_variant
+        from repro.lang import validate
+
+        program = validate(registry.get(app).build())
+        _, hits = _hits_delta(lambda: compile_variant(program, "new"))
+        assert hits > 0
+
+    def test_no_manager_means_no_cache_traffic(self):
+        from repro.analysis.manager import cached_loop_accesses
+        from repro.lang import parse, validate
+
+        p = validate(
+            parse(
+                "program plain\nparam N\nreal A[N]\n"
+                "for i = 1, N { A[i] = f(A[i]) }\n"
+            )
+        )
+        before = metrics.snapshot()["counters"]
+        cached_loop_accesses(p.body[0], ())
+        after = metrics.snapshot()["counters"]
+        for key in ("analysis.cache.hits", "analysis.cache.misses"):
+            assert after.get(key, 0) == before.get(key, 0)

@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint smoke benchmarks
+.PHONY: check lint test self-lint static-lint smoke benchmarks
 
-check: lint test self-lint smoke
+check: lint test self-lint static-lint smoke
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -22,6 +22,13 @@ test:
 # the repo's own lint front door (delegates to ruff when available)
 self-lint:
 	$(PYTHON) -m repro lint --self
+
+# predictive-lint gate: legality (V), locality (L), and static (S)
+# diagnostics across every registered program must not regress past the
+# checked-in baseline (refresh with `repro lint --static --all-apps
+# --write-baseline lint-baseline.json` when a change is intentional)
+static-lint:
+	$(PYTHON) -m repro lint --static --all-apps --baseline lint-baseline.json
 
 # pass-manager smoke: the pipeline registry enumerates, lints clean, and a
 # custom --passes pipeline compiles and simulates end to end

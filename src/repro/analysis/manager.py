@@ -50,6 +50,7 @@ ANALYSIS_KINDS = (
     "dependence_graph",  # body_dependence_graph(loop, params, assume)
     "alignment",  # compute_alignment(acc1, acc2, assume)
     "access_patterns",  # regrouping's analyze_access_patterns(program)
+    "static_reuse",  # static.analyze_program(program, steps, assume)
 )
 
 
@@ -223,6 +224,27 @@ def cached_alignment(acc1: list, acc2: list, param_min):
         (id(acc1), id(acc2), param_min),
         (acc1, acc2),
         lambda: compute_alignment(acc1, acc2, param_min),
+    )
+
+
+def cached_static_reuse(program, steps: int = 1, assume=None):
+    """Memoized symbolic reuse profile (``repro.static.analyze_program``).
+
+    Keyed by program identity: the profile depends on nothing but the
+    immutable IR, so any pass that returns the same object (analysis
+    passes like ``regroup``) keeps the profile hit-able, and passes that
+    rebuild the program miss naturally.
+    """
+    from ..static import analyze_program
+
+    am = _ACTIVE.get()
+    if am is None:
+        return analyze_program(program, steps=steps, assume=assume)
+    return am.get(
+        "static_reuse",
+        (id(program), steps, assume),
+        (program,),
+        lambda: analyze_program(program, steps=steps, assume=assume),
     )
 
 

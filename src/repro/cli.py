@@ -18,7 +18,12 @@ Subcommands:
   one application and assert their metrics are bit-identical;
 * ``cache``          — inspect or clear the on-disk trace/result cache;
 * ``lint``           — static IR verification of a program (structure,
-  loop bounds, subscript bounds, def-use hygiene);
+  loop bounds, subscript bounds, def-use hygiene); ``--static`` adds the
+  predictive S3xx locality lints, ``--explain CODE`` documents any
+  diagnostic code;
+* ``static-reuse``   — the symbolic (trace-free) reuse profile of a
+  program: per-reference distance polynomials, predicted histogram and
+  evadable classes at any input size;
 * ``verify-pass``    — certify that every pass of an optimization level
   preserves the program's dependence structure.
 
@@ -33,6 +38,10 @@ Examples::
     python -m repro bench-engine adi
     python -m repro cache --clear
     python -m repro lint kernel.loop --json
+    python -m repro lint --static --all-apps --baseline lint-baseline.json
+    python -m repro lint --explain S301
+    python -m repro static-reuse adi -p N=256
+    python -m repro static-reuse adi --level fusion --json
     python -m repro verify-pass adi --level new
     python -m repro verify-pass --before a.loop --after b.loop
 """
@@ -387,7 +396,31 @@ def _load_target(target: str) -> Program:
         return _load_program(target)
 
 
+def _lint_steps(target: str) -> int:
+    """The registry's body-repetition count for an app, 1 for files."""
+    try:
+        return registry.get(target).steps
+    except KeyError:
+        return 1
+
+
+def _diag_counts(bag) -> dict[str, int]:
+    """Per-code diagnostic counts, the unit of the lint baseline."""
+    counts: dict[str, int] = {}
+    for d in bag:
+        counts[d.code] = counts.get(d.code, 0) + 1
+    return counts
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
+    from .verify.codes import explain_code, format_code_table
+
+    if args.explain:
+        print(explain_code(args.explain))
+        return 0
+    if args.codes:
+        print(format_code_table())
+        return 0
     if args.self_check:
         # "repro lint --self" = lint the compiler itself, not a program:
         # delegate to ruff (configured in pyproject.toml) when available
@@ -403,20 +436,129 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
             return 0
         return subprocess.call([sys.executable, "-m", "ruff", "check", "."])
-    if not args.target:
-        raise SystemExit("lint needs a program (file or app name), or --self")
-    program = _load_target(args.target)
-    bag = lint_program(program, assume=args.assume)
-    if args.json:
-        print(bag.to_json(program=program.name))
+
+    if args.all_apps:
+        from .programs import STUDY_PROGRAMS
+
+        targets = sorted(set(APPLICATIONS) | set(STUDY_PROGRAMS))
+    elif args.target:
+        targets = [args.target]
     else:
-        print(f"lint {program.name}:")
-        print(bag.render())
-    if bag.has_errors():
+        raise SystemExit(
+            "lint needs a program (file or app name), --all-apps, --self, "
+            "--codes, or --explain CODE"
+        )
+
+    bags: dict[str, object] = {}
+    for target in targets:
+        program = _load_target(target)
+        bag = lint_program(program, assume=args.assume)
+        if args.static:
+            from .static import lint_static
+
+            bag.extend(
+                lint_static(
+                    program, steps=_lint_steps(target), assume=args.assume
+                )
+            )
+        bags[program.name] = bag
+
+    if args.write_baseline:
+        baseline = {name: _diag_counts(bag) for name, bag in bags.items()}
+        Path(args.write_baseline).write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        total = sum(sum(c.values()) for c in baseline.values())
+        print(
+            f"wrote {args.write_baseline}: {total} accepted diagnostic(s) "
+            f"across {len(baseline)} program(s)"
+        )
+        return 0
+
+    regressions: list[str] = []
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        for name, bag in bags.items():
+            accepted = baseline.get(name, {})
+            for code, count in sorted(_diag_counts(bag).items()):
+                if count > int(accepted.get(code, 0)):
+                    regressions.append(
+                        f"{name}: {code} x{count} "
+                        f"(baseline {int(accepted.get(code, 0))})"
+                    )
+
+    if args.json:
+        if len(bags) == 1 and not args.baseline:
+            # single program, no baseline: the original flat payload
+            ((name, bag),) = bags.items()
+            print(bag.to_json(program=name))
+        else:
+            payload = {
+                "programs": {
+                    name: json.loads(bag.to_json())
+                    for name, bag in bags.items()
+                },
+                "regressions": regressions,
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for name, bag in bags.items():
+            print(f"lint {name}:")
+            print(bag.render())
+        if regressions:
+            print("\nnew diagnostics not in baseline:")
+            for line in regressions:
+                print(f"  {line}")
+
+    if regressions:
         return 1
-    if args.strict and bag.warnings:
+    if any(bag.has_errors() for bag in bags.values()):
         return 1
+    # with a baseline the baseline is the contract; without one, warnings
+    # fail only under --strict
+    if args.strict and not args.baseline:
+        if any(bag.warnings for bag in bags.values()):
+            return 1
     return 0
+
+
+def cmd_static_reuse(args: argparse.Namespace) -> int:
+    """Print the symbolic reuse profile — computed without any trace."""
+    from .obs import metrics as _metrics
+    from .static import analyze_program
+
+    program = _load_target(args.target)
+    steps = args.steps if args.steps is not None else _lint_steps(args.target)
+    if args.level:
+        program = compile_variant(program, args.level).program
+    params = _parse_params(args.param) or None
+
+    before = _metrics.snapshot()["counters"]
+    profile = analyze_program(program, steps=steps, assume=args.assume)
+    after = _metrics.snapshot()["counters"]
+    traced = sum(
+        v - before.get(k, 0.0)
+        for k, v in after.items()
+        if k.startswith("trace.")
+    )
+    static_runs = after.get("analysis.static.runs", 0.0) - before.get(
+        "analysis.static.runs", 0.0
+    )
+
+    if args.json:
+        payload = profile.to_json(params)
+        payload["metrics"] = {
+            "analysis.static.runs": static_runs,
+            "trace.accesses": traced,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(profile.render(params))
+        print(
+            f"# analysis.static.runs +{static_runs:g}; "
+            f"trace events generated: {traced:g}"
+        )
+    return 0 if traced == 0 else 1
 
 
 def cmd_verify_pass(args: argparse.Namespace) -> int:
@@ -659,7 +801,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--self", dest="self_check", action="store_true",
         help="lint the compiler's own sources via ruff instead",
     )
+    lint.add_argument(
+        "--static", action="store_true",
+        help="also run the predictive S3xx locality lints "
+        "(symbolic reuse profile; no trace is generated)",
+    )
+    lint.add_argument(
+        "--all-apps", action="store_true",
+        help="lint every bundled application instead of one target",
+    )
+    lint.add_argument(
+        "--explain", metavar="CODE",
+        help="document one diagnostic code (e.g. S301) and exit",
+    )
+    lint.add_argument(
+        "--codes", action="store_true",
+        help="print the full diagnostic-code registry table and exit",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE",
+        help="accepted-diagnostics file; any diagnostic beyond it fails",
+    )
+    lint.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="record the current diagnostics as the accepted baseline",
+    )
     lint.set_defaults(fn=cmd_lint)
+
+    static = sub.add_parser(
+        "static-reuse",
+        help="symbolic (trace-free) reuse profile of a program",
+        parents=[params_args],
+    )
+    static.add_argument("target", help="registry app name or source file")
+    static.add_argument(
+        "--level", default=None,
+        help="optimization level to apply before analysis (default: none)",
+    )
+    static.add_argument(
+        "--assume", type=int, default=None, metavar="MIN",
+        help="assumed parameter lower bound for symbolic comparisons",
+    )
+    static.add_argument(
+        "--json", action="store_true",
+        help="emit the profile (and predicted histogram) as JSON",
+    )
+    static.set_defaults(fn=cmd_static_reuse)
 
     verify = sub.add_parser(
         "verify-pass",

@@ -4,6 +4,9 @@ from .evadable import (
     ClassStats,
     EvadableReport,
     classify_evadable,
+    classify_evadable_program,
+    classify_evadable_sizes,
+    classify_evadable_stats,
     evadable_change,
     evadable_counts_by_threshold,
     mean_distance_growth,
@@ -25,6 +28,9 @@ __all__ = [
     "EvadableReport",
     "ReuseHistogram",
     "classify_evadable",
+    "classify_evadable_program",
+    "classify_evadable_sizes",
+    "classify_evadable_stats",
     "evadable_change",
     "evadable_counts_by_threshold",
     "hit_ratio",

@@ -87,6 +87,21 @@ def classify_evadable(
     """
     small = per_class_stats(trace_small, distances_small)
     large = per_class_stats(trace_large, distances_large)
+    return classify_evadable_stats(small, large, growth_factor, noise_floor)
+
+
+def classify_evadable_stats(
+    small: Mapping[int, ClassStats],
+    large: Mapping[int, ClassStats],
+    growth_factor: float = 1.5,
+    noise_floor: float = 64.0,
+) -> EvadableReport:
+    """The two-size decision rule over already-computed class stats.
+
+    Shared between the dynamic classifier (stats measured from traces)
+    and the static analyzer (stats predicted from symbolic profiles), so
+    both sides answer evadability with literally the same code.
+    """
     evadable: set[int] = set()
     for rid, stat in large.items():
         if stat.mean_distance < noise_floor:
@@ -105,6 +120,75 @@ def classify_evadable(
         stats_small=small,
         stats_large=large,
     )
+
+
+def classify_evadable_program(
+    program,
+    small: Mapping[str, int],
+    large: Mapping[str, int],
+    steps: int = 1,
+    growth_factor: float = 1.5,
+    noise_floor: float = 64.0,
+    method: str = "static",
+) -> EvadableReport:
+    """Classify a whole program's reuse classes — statically by default.
+
+    The default ``method="static"`` predicts per-class stats from the
+    symbolic reuse profile (:mod:`repro.static`) evaluated at the two
+    sizes, so classification needs *no trace*; ``method="dynamic"``
+    falls back to the original two-size regression over interpreted
+    traces.  Both paths feed :func:`classify_evadable_stats`, so the
+    decision rule is identical — only the provenance of the class
+    means differs.
+    """
+    if method == "static":
+        from ..analysis import cached_static_reuse
+
+        profile = cached_static_reuse(program, steps=steps)
+        return classify_evadable_stats(
+            profile.class_stats(small),
+            profile.class_stats(large),
+            growth_factor,
+            noise_floor,
+        )
+    if method == "dynamic":
+        from ..interp.tracegen import trace_program
+
+        trace_small = trace_program(program, dict(small), steps=steps)
+        trace_large = trace_program(program, dict(large), steps=steps)
+        return classify_evadable(
+            trace_small, trace_large, growth_factor, noise_floor
+        )
+    raise ValueError(f"unknown method {method!r}: use 'static' or 'dynamic'")
+
+
+def classify_evadable_sizes(
+    traces: Sequence[AccessTrace],
+    growth_factor: float = 1.5,
+    noise_floor: float = 64.0,
+) -> EvadableReport:
+    """Classify across several input sizes, smallest to largest.
+
+    A class that performs *zero* reuses at the smallest size (cold-only
+    at small N — e.g. a boundary reference whose reuse partner only
+    materializes once the array outgrows a seed region) used to be
+    treated as "absent at small", which the two-size rule counts as
+    evadable by default.  Here its baseline comes from the earliest size
+    where the class actually reuses, so a class whose distance is flat
+    from that point on classifies as non-evadable, with the guarded mean
+    computation never touching the empty small-size segment.
+    """
+    if len(traces) < 2:
+        raise ValueError("need at least two input sizes to classify growth")
+    stats = [per_class_stats(t) for t in traces]
+    large = stats[-1]
+    # per class, the earliest size with a measured (non-empty) mean
+    base: dict[int, ClassStats] = {}
+    for level in stats[:-1]:
+        for rid, stat in level.items():
+            if rid not in base and stat.reuses > 0:
+                base[rid] = stat
+    return classify_evadable_stats(base, large, growth_factor, noise_floor)
 
 
 def evadable_change(before: EvadableReport, after: EvadableReport) -> float:

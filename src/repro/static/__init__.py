@@ -1,0 +1,40 @@
+"""Static symbolic reuse analysis — the trace-free locality engine.
+
+Computes per-reference reuse-distance polynomials, predicted histograms
+and miss counts, evadable-reuse classification, and predictive locality
+lints directly from the loop IR, with no interpretation and no trace
+(Razzak et al., *Static Reuse Profile Estimation for Array
+Applications*; Zhu et al., *Fully Symbolic Analysis of Loop Locality*;
+paper §2.1).
+
+Layering: depends on ``lang``, ``locality`` (result types only), ``obs``
+and ``verify`` (diagnostics); nothing here imports the interpreter.
+"""
+
+from .lints import lint_profile, lint_static
+from .model import LoopCtx, StaticModel, StaticRef, build_model
+from .poly import Poly
+from .profile import EvaluatedClass, StaticProfile, analyze_program
+from .regions import Hull, footprint_by_array, ref_hull, union_hulls
+from .reuse import ClassProfile, Component, attribute_model, solve_delta
+
+__all__ = [
+    "ClassProfile",
+    "Component",
+    "EvaluatedClass",
+    "Hull",
+    "LoopCtx",
+    "Poly",
+    "StaticModel",
+    "StaticProfile",
+    "StaticRef",
+    "analyze_program",
+    "attribute_model",
+    "build_model",
+    "footprint_by_array",
+    "lint_profile",
+    "lint_static",
+    "ref_hull",
+    "solve_delta",
+    "union_hulls",
+]

@@ -1,0 +1,250 @@
+"""Static reference model: the IR flattened to symbolic references.
+
+The model mirrors :class:`repro.interp.tracegen._Compiler` exactly —
+same pre-order walk, same read-then-write ordering per assignment, same
+guard body/else ordering — so the static reference ids coincide with the
+``ref_ids`` of a dynamically generated :class:`~repro.interp.trace.
+AccessTrace` for the same program.  That correspondence is what lets the
+cross-validation suite compare static and dynamic reuse classes
+reference by reference.
+
+Unlike the trace generator, nothing here is evaluated: loop bounds stay
+affine, subscripts stay affine, guard intervals either *narrow* the
+enclosing index range (single interval — the common fusion-boundary
+shape) or fall back to a conservative hull over the interval union, the
+same convention as :mod:`repro.analysis.access` and the IR linter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..lang import (
+    Affine,
+    AnalysisError,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    CallStmt,
+    Guard,
+    Loop,
+    Program,
+    Stmt,
+    array_reads,
+)
+from .poly import ONE, Poly
+
+
+@dataclass(frozen=True)
+class LoopCtx:
+    """One enclosing loop level as seen by a reference.
+
+    ``lo``/``hi`` are the (possibly guard-narrowed) inclusive bounds;
+    ``trip`` is the exact iteration count as a polynomial (for a
+    multi-interval guard the hull ``[lo, hi]`` is wider than the true
+    iteration set, but ``trip`` still sums the interval widths exactly);
+    ``exact`` is False when the narrowing lost information.
+
+    ``loop_id`` identifies the originating :class:`~repro.lang.Loop`
+    statement: two references share an iteration space at some level only
+    if their contexts carry the same id there.  After fusion several
+    sibling loops reuse the same *index name*, so name equality must not
+    be mistaken for shared ancestry — the attributor's shared-prefix
+    computations all compare ids, never names.
+    """
+
+    index: str
+    lo: Affine
+    hi: Affine
+    trip: Poly
+    exact: bool = True
+    loop_id: int = -1
+
+
+@dataclass(frozen=True)
+class StaticRef:
+    """One static array reference with its full symbolic context."""
+
+    ref_id: int
+    nest: int  # position of the enclosing top-level statement
+    pos: int  # pre-order reference ordinal within the nest
+    stmt_id: int
+    array: str
+    is_write: bool
+    subs: tuple[Affine, ...]
+    scope: tuple[LoopCtx, ...]
+    text: str
+
+    def exec_count(self) -> Poly:
+        """Accesses this reference performs per body repetition."""
+        count = ONE
+        for ctx in self.scope:
+            count = count * ctx.trip
+        return count
+
+    def scope_indices(self) -> tuple[str, ...]:
+        return tuple(c.index for c in self.scope)
+
+
+@dataclass(frozen=True)
+class StaticModel:
+    """Every reference of a program, grouped by top-level nest."""
+
+    program: Program
+    params: tuple[str, ...]
+    arrays: dict[str, ArrayDecl]
+    refs: tuple[StaticRef, ...]
+    nests: tuple[tuple[StaticRef, ...], ...]
+
+    def total_accesses(self) -> Poly:
+        """Accesses per body repetition (multiply by steps for a run)."""
+        total = Poly()
+        for ref in self.refs:
+            total = total + ref.exec_count()
+        return total
+
+
+class _Extractor:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.refs: list[StaticRef] = []
+        self.stmt_count = 0
+        self.loop_count = 0
+        self.nest = 0
+        self.pos = 0
+        self.scope: list[LoopCtx] = []
+
+    def run(self) -> StaticModel:
+        per_nest: list[list[StaticRef]] = []
+        for k, stmt in enumerate(self.program.body):
+            self.nest = k
+            self.pos = 0
+            start = len(self.refs)
+            self.visit(stmt)
+            per_nest.append(self.refs[start:])
+        return StaticModel(
+            program=self.program,
+            params=tuple(self.program.params),
+            arrays={a.name: a for a in self.program.arrays},
+            refs=tuple(self.refs),
+            nests=tuple(tuple(ns) for ns in per_nest),
+        )
+
+    def add_ref(self, ref: ArrayRef, stmt_id: int, is_write: bool) -> None:
+        self.refs.append(
+            StaticRef(
+                ref_id=len(self.refs),
+                nest=self.nest,
+                pos=self.pos,
+                stmt_id=stmt_id,
+                array=ref.array,
+                is_write=is_write,
+                subs=ref.index_affines(),
+                scope=tuple(self.scope),
+                text=str(ref),
+            )
+        )
+        self.pos += 1
+
+    def visit(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            stmt_id = self.stmt_count
+            self.stmt_count += 1
+            for r in array_reads(stmt.expr):
+                self.add_ref(r, stmt_id, False)
+            if isinstance(stmt.target, ArrayRef):
+                self.add_ref(stmt.target, stmt_id, True)
+        elif isinstance(stmt, Guard):
+            self.visit_guard(stmt)
+        elif isinstance(stmt, Loop):
+            lo, hi = stmt.bounds_affine()
+            trip = Poly.from_affine(hi - lo + 1)
+            self.scope.append(
+                LoopCtx(stmt.index, lo, hi, trip, loop_id=self.loop_count)
+            )
+            self.loop_count += 1
+            for s in stmt.body:
+                self.visit(s)
+            self.scope.pop()
+        elif isinstance(stmt, CallStmt):
+            raise AnalysisError(
+                "static reuse analysis requires inlined programs; "
+                f"found call to {stmt.proc!r}"
+            )
+        else:
+            raise AnalysisError(f"cannot analyze statement {type(stmt).__name__}")
+
+    def visit_guard(self, guard: Guard) -> None:
+        level = next(
+            (k for k, c in enumerate(self.scope) if c.index == guard.index), None
+        )
+        outer = self.scope[level] if level is not None else None
+        # body: narrow the guarded index to the interval union
+        narrowed = _narrow(outer, guard, else_branch=False)
+        self._with_ctx(level, narrowed, guard.body)
+        # else: hull stays the full range, trip is the complement
+        if guard.else_body:
+            widened = _narrow(outer, guard, else_branch=True)
+            self._with_ctx(level, widened, guard.else_body)
+
+    def _with_ctx(
+        self,
+        level: Optional[int],
+        ctx: Optional[LoopCtx],
+        body: Sequence[Stmt],
+    ) -> None:
+        if level is None or ctx is None:
+            for s in body:
+                self.visit(s)
+            return
+        saved = self.scope[level]
+        self.scope[level] = ctx
+        for s in body:
+            self.visit(s)
+        self.scope[level] = saved
+
+
+def _narrow(
+    outer: Optional[LoopCtx], guard: Guard, else_branch: bool
+) -> Optional[LoopCtx]:
+    """The guarded index's range inside the guard body (or else body)."""
+    if outer is None:
+        return None
+    member_trip = Poly()
+    lo: Optional[Affine] = None
+    hi: Optional[Affine] = None
+    for iv in guard.intervals:
+        member_trip = member_trip + Poly.from_affine(iv.upper - iv.lower + 1)
+        lo = iv.lower if lo is None else _pick(lo, iv.lower, smaller=True)
+        hi = iv.upper if hi is None else _pick(hi, iv.upper, smaller=False)
+    if else_branch:
+        trip = outer.trip - member_trip
+        return LoopCtx(
+            outer.index, outer.lo, outer.hi, trip,
+            exact=False, loop_id=outer.loop_id,
+        )
+    exact = len(guard.intervals) == 1 and outer.exact
+    assert lo is not None and hi is not None
+    return LoopCtx(
+        outer.index, lo, hi, member_trip, exact=exact, loop_id=outer.loop_id
+    )
+
+
+def _pick(a: Affine, b: Affine, smaller: bool) -> Affine:
+    """min/max of two affine forms; indeterminate keeps the first."""
+    cmp = a.compare(b)
+    if cmp is None:
+        return a
+    if smaller:
+        return a if cmp <= 0 else b
+    return a if cmp >= 0 else b
+
+
+def build_model(program: Program) -> StaticModel:
+    """Extract the static reference model of ``program``.
+
+    Reference ids match :func:`repro.interp.tracegen.trace_program`'s
+    ``ref_ids`` for the same program, position by position.
+    """
+    return _Extractor(program).run()

@@ -1,0 +1,236 @@
+"""Polynomials over symbolic program parameters.
+
+Reuse distances and access counts of affine loop nests are polynomials in
+the loop bounds: a trip count ``(N - 1) - 2 + 1`` is affine, the product
+of two trip counts is quadratic, and the footprint of a 2-D sweep is a
+product of per-dimension widths.  :class:`Poly` is the closure of
+:class:`~repro.lang.Affine` under multiplication — exact rational
+coefficients over multi-variable monomials — plus the two queries the
+static reuse analyzer needs: evaluation at a concrete input size and the
+symbolic *growth* test that defines evadable reuse (paper §2.1: a reuse
+is evadable iff its distance grows with the input size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from ..lang import Affine, NotAffineError
+
+Number = Union[int, float, Fraction]
+
+#: a monomial: sorted ``((name, power), ...)``; the empty tuple is 1
+Monomial = tuple[tuple[str, int], ...]
+
+#: probe points for the numeric growth test (exact integer arithmetic)
+_GROW_LO = 10**3
+_GROW_HI = 10**6
+
+
+def _frac(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise NotAffineError(f"non-integral polynomial coefficient {value}")
+        return Fraction(int(value))
+    raise NotAffineError(f"cannot coerce {value!r} into a coefficient")
+
+
+@dataclass(frozen=True)
+class Poly:
+    """A polynomial ``sum(coeff * monomial)`` with exact coefficients.
+
+    Instances are immutable and hashable; zero terms are never stored and
+    monomials are kept sorted, so structurally equal polynomials compare
+    equal.
+    """
+
+    terms: tuple[tuple[Monomial, Fraction], ...] = ()
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def constant(value: Number) -> "Poly":
+        c = _frac(value)
+        if c == 0:
+            return Poly()
+        return Poly((((), c),))
+
+    @staticmethod
+    def var(name: str, power: int = 1) -> "Poly":
+        return Poly(((((name, power),), Fraction(1)),))
+
+    @staticmethod
+    def from_terms(terms: Mapping[Monomial, Fraction]) -> "Poly":
+        clean = tuple(
+            sorted((m, c) for m, c in terms.items() if c != 0)
+        )
+        return Poly(clean)
+
+    @staticmethod
+    def from_affine(form: Affine) -> "Poly":
+        terms: dict[Monomial, Fraction] = {}
+        if form.const != 0:
+            terms[()] = form.const
+        for name, coeff in form.coeffs:
+            terms[((name, 1),)] = terms.get(((name, 1),), Fraction(0)) + coeff
+        return Poly.from_terms(terms)
+
+    # -- inspection -------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def is_constant(self) -> bool:
+        return all(m == () for m, _ in self.terms)
+
+    def constant_value(self) -> Fraction:
+        if not self.is_constant():
+            raise NotAffineError(f"{self} is not a constant")
+        return self.terms[0][1] if self.terms else Fraction(0)
+
+    def degree(self) -> int:
+        """Total degree (0 for constants, -1 conventionally for zero)."""
+        if not self.terms:
+            return -1
+        return max(sum(p for _, p in m) for m, _ in self.terms)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(n for m, _ in self.terms for n, _ in m)
+
+    def coefficient(self, monomial: Monomial) -> Fraction:
+        for m, c in self.terms:
+            if m == monomial:
+                return c
+        return Fraction(0)
+
+    # -- arithmetic -------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value: Union["Poly", Affine, Number]) -> "Poly":
+        if isinstance(value, Poly):
+            return value
+        if isinstance(value, Affine):
+            return Poly.from_affine(value)
+        return Poly.constant(value)
+
+    def __add__(self, other: Union["Poly", Affine, Number]) -> "Poly":
+        other = Poly._coerce(other)
+        terms = dict(self.terms)
+        for m, c in other.terms:
+            terms[m] = terms.get(m, Fraction(0)) + c
+        return Poly.from_terms(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Poly":
+        return Poly(tuple((m, -c) for m, c in self.terms))
+
+    def __sub__(self, other: Union["Poly", Affine, Number]) -> "Poly":
+        return self + (-Poly._coerce(other))
+
+    def __rsub__(self, other: Union[Affine, Number]) -> "Poly":
+        return Poly._coerce(other) - self
+
+    def __mul__(self, other: Union["Poly", Affine, Number]) -> "Poly":
+        other = Poly._coerce(other)
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                powers: dict[str, int] = {}
+                for n, p in m1 + m2:
+                    powers[n] = powers.get(n, 0) + p
+                mono: Monomial = tuple(sorted(powers.items()))
+                terms[mono] = terms.get(mono, Fraction(0)) + c1 * c2
+        return Poly.from_terms(terms)
+
+    __rmul__ = __mul__
+
+    # -- evaluation -------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Fully evaluate; every variable must be bound in ``env``."""
+        total = Fraction(0)
+        for mono, coeff in self.terms:
+            value = coeff
+            for name, power in mono:
+                if name not in env:
+                    raise NotAffineError(f"unbound variable {name!r} in {self}")
+                value *= _frac(env[name]) ** power
+            total += value
+        return total
+
+    def substitute(self, bindings: Mapping[str, Union["Poly", Affine, Number]]) -> "Poly":
+        out = Poly()
+        for mono, coeff in self.terms:
+            term = Poly.constant(coeff)
+            for name, power in mono:
+                base = (
+                    Poly._coerce(bindings[name])
+                    if name in bindings
+                    else Poly.var(name)
+                )
+                for _ in range(power):
+                    term = term * base
+            out = out + term
+        return out
+
+    # -- the evadability query --------------------------------------------
+
+    def grows(self) -> bool:
+        """Does this polynomial grow without bound as its variables grow?
+
+        The defining question of evadable reuse (paper §2.1).  Decided by
+        probing all variables at two large integer points with exact
+        arithmetic: dominant positive-coefficient terms force growth,
+        constants and bounded forms do not.
+        """
+        if self.degree() <= 0:
+            return False
+        lo = self.evaluate({n: _GROW_LO for n in self.variables()})
+        hi = self.evaluate({n: _GROW_HI for n in self.variables()})
+        return hi >= 2 * max(lo, Fraction(1))
+
+    # -- display ----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        ordered = sorted(
+            self.terms,
+            key=lambda t: (-sum(p for _, p in t[0]), t[0]),
+        )
+        parts: list[str] = []
+        for mono, coeff in ordered:
+            body = "*".join(
+                n if p == 1 else f"{n}^{p}" for n, p in mono
+            )
+            if not body:
+                text = _fmt(coeff)
+            elif coeff == 1:
+                text = body
+            elif coeff == -1:
+                text = f"-{body}"
+            else:
+                text = f"{_fmt(coeff)}*{body}"
+            parts.append(text)
+        out = parts[0]
+        for p in parts[1:]:
+            out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+        return out
+
+    __repr__ = __str__
+
+
+def _fmt(c: Fraction) -> str:
+    return str(int(c)) if c.denominator == 1 else str(c)
+
+
+#: shared singletons
+ZERO = Poly()
+ONE = Poly.constant(1)

@@ -13,6 +13,13 @@ pipeline's ``verify=True`` mode runs :class:`PassVerifier` after every
 pass and raises :class:`PassLegalityError` on the first violation.
 """
 
+from .codes import (
+    CodeInfo,
+    all_codes,
+    explain_code,
+    format_code_table,
+    get_code,
+)
 from .diagnostics import (
     Diagnostic,
     DiagnosticBag,
@@ -28,6 +35,7 @@ from .legality import (
     check_legality,
     verify_pass,
 )
+from .reuse_check import array_distance_bounds, reuse_bound_check
 from .snapshot import (
     DEFAULT_VERIFY_PARAM,
     Cell,
@@ -41,6 +49,7 @@ from .snapshot import (
 
 __all__ = [
     "Cell",
+    "CodeInfo",
     "DEFAULT_VERIFY_PARAM",
     "Diagnostic",
     "DiagnosticBag",
@@ -53,10 +62,16 @@ __all__ = [
     "VerificationError",
     "WriteInstance",
     "affine_range",
+    "all_codes",
+    "array_distance_bounds",
     "check_legality",
+    "explain_code",
     "format_cell",
+    "format_code_table",
+    "get_code",
     "is_scalar_cell",
     "lint_program",
+    "reuse_bound_check",
     "scalar_cell",
     "snapshot_program",
     "verify_pass",

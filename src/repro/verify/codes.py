@@ -1,0 +1,273 @@
+"""The single registry of diagnostic codes.
+
+Every stable diagnostic id — ``V`` (IR lint), ``L`` (pass legality and
+registry contracts), ``S`` (static reuse analysis) — is declared here
+once, with its family, default severity, and documentation.  The CLI's
+``lint`` help table and ``lint --explain CODE`` render from this
+registry; nothing else in the repo hand-lists codes.
+
+Emitting sites stay free to construct diagnostics directly (the bag does
+not require registration), but ``make check``'s self-lint asserts that
+every code used anywhere in ``repro`` is registered here, so the table
+cannot silently rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One registered diagnostic code."""
+
+    code: str
+    severity: Severity
+    summary: str  # one line, shown in tables
+    doc: str  # full explanation, shown by ``lint --explain``
+
+    @property
+    def family(self) -> str:
+        return self.code[0]
+
+
+#: family letter -> what the family covers
+FAMILIES: dict[str, str] = {
+    "V": "IR verification (structure, ranges, def-use)",
+    "L": "pass legality (dependences) and registry contracts",
+    "S": "static reuse analysis (predictive locality lints)",
+}
+
+REGISTRY: dict[str, CodeInfo] = {}
+
+
+def _register(
+    code: str, severity: Severity, summary: str, doc: str
+) -> None:
+    assert code not in REGISTRY, f"duplicate diagnostic code {code}"
+    REGISTRY[code] = CodeInfo(code, severity, summary, doc.strip())
+
+
+def get_code(code: str) -> CodeInfo:
+    """Look up a code; raises KeyError with the known codes listed."""
+    try:
+        return REGISTRY[code.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown diagnostic code {code!r}; known codes: "
+            f"{', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def all_codes() -> tuple[CodeInfo, ...]:
+    return tuple(REGISTRY[c] for c in sorted(REGISTRY))
+
+
+def format_code_table() -> str:
+    """The one table of every code, grouped by family."""
+    lines: list[str] = []
+    for fam in sorted(FAMILIES):
+        lines.append(f"{fam}xxx — {FAMILIES[fam]}:")
+        for info in all_codes():
+            if info.family == fam:
+                lines.append(
+                    f"  {info.code}  [{info.severity}] {info.summary}"
+                )
+    return "\n".join(lines)
+
+
+def explain_code(code: str) -> str:
+    info = get_code(code)
+    return (
+        f"{info.code} [{info.severity}] — {info.summary}\n"
+        f"family: {FAMILIES[info.family]}\n\n{info.doc}"
+    )
+
+
+# -- V: IR verification -------------------------------------------------------
+
+_register(
+    "V001", Severity.ERROR,
+    "structural validation failure",
+    """The program violates a structural invariant of the lang IR
+(undeclared array or scalar, wrong subscript arity, non-affine loop
+bound, duplicate declaration).  Raised by the validators in
+repro.lang.validate and re-reported through the lint bag so every
+finding shares one rendering.""",
+)
+_register(
+    "V101", Severity.ERROR,
+    "subscript can underflow its 1-based extent",
+    """Interval analysis over the enclosing loop bounds proves the
+subscript reaches a value below 1 (Fortran-style arrays are 1-based).
+An always-underflowing subscript and a sometimes-underflowing one emit
+the same code with different wording.""",
+)
+_register(
+    "V102", Severity.ERROR,
+    "subscript can overflow its declared extent",
+    """Interval analysis proves the subscript exceeds the declared
+extent along that dimension — under the published parameter assumptions
+(params >= 8 unless a program declares tighter minimums).""",
+)
+_register(
+    "V103", Severity.WARNING,
+    "loop bound has fractional coefficients",
+    """A loop bound's affine form has non-integral coefficients, so trip
+counts may be non-integral; the interpreter truncates, which is usually
+a symptom of a mis-derived bound.""",
+)
+_register(
+    "V104", Severity.WARNING,
+    "loop provably never executes",
+    """The upper bound is provably below the lower bound under the
+parameter assumptions.  Dead loops are legal but usually indicate a
+transform dropped a guard or mangled a bound.""",
+)
+_register(
+    "V105", Severity.WARNING,
+    "guard interval is empty",
+    """A guard's [lower:upper] membership interval is provably empty, so
+the guarded body is unreachable.""",
+)
+_register(
+    "V106", Severity.WARNING,
+    "guard interval outside the index's range",
+    """A guard interval lies entirely outside the guarded index's loop
+range; the guard can never admit an iteration.""",
+)
+_register(
+    "V201", Severity.WARNING,
+    "scalar read but never assigned",
+    """The scalar only ever reads its initial zero — either dead code or
+a missing initialization.""",
+)
+_register(
+    "V202", Severity.INFO,
+    "scalar assigned but never read",
+    """Dead scalar: scalars are not program outputs, so a write-only
+scalar computes nothing observable.""",
+)
+_register(
+    "V203", Severity.INFO,
+    "array declared but never referenced",
+    """The array occupies a declaration (and a layout slot) but no
+statement touches it.""",
+)
+_register(
+    "V204", Severity.INFO,
+    "array is read-only",
+    """Every access to the array is a read: the program only observes
+its initial values.  Expected for coefficient arrays, suspicious for
+work arrays.""",
+)
+_register(
+    "V205", Severity.WARNING,
+    "reads disjoint from every written region",
+    """Region analysis proves the read regions of the array never
+intersect its written regions — the reads observe initial values even
+though the array *is* written elsewhere.""",
+)
+_register(
+    "V301", Severity.INFO,
+    "procedures analyzed at inlined call sites only",
+    """The program still contains procedure declarations; the region
+and def-use layers analyze the inlined body, so pre-inline programs get
+shallower coverage.""",
+)
+
+# -- L: pass legality ---------------------------------------------------------
+
+_register(
+    "L000", Severity.INFO,
+    "further diagnostics of a code suppressed",
+    """The legality checker caps per-code output (MAX_DIAGS_PER_CODE);
+this marker records that more findings of the preceding code exist.""",
+)
+_register(
+    "L100", Severity.ERROR,
+    "snapshots taken at different parameters",
+    """A before/after legality comparison was attempted across different
+input parameters; the dependence structures are not comparable.""",
+)
+_register(
+    "L101", Severity.ERROR,
+    "flow dependence violated",
+    """A read observes a different write instance than before the pass
+(true dependence reordered): the transformed program consumes a stale
+or future value.""",
+)
+_register(
+    "L102", Severity.ERROR,
+    "write set changed",
+    """A cell is written before the pass but never after (lost writes),
+or after but never before (writes out of nowhere).""",
+)
+_register(
+    "L103", Severity.ERROR,
+    "write multiplicity changed",
+    """A cell's write chain has a different length after the pass —
+write instances were lost or duplicated.""",
+)
+_register(
+    "L104", Severity.ERROR,
+    "write computes a different value signature",
+    """Strict certification: a write's operand signature differs across
+the pass.  Relaxed passes (constant propagation, simplification) are
+exempt because they legitimately rewrite arithmetic.""",
+)
+_register(
+    "L105", Severity.ERROR,
+    "output dependence violated",
+    """Two writes to the same cell were reordered; the cell's final
+value may differ.""",
+)
+_register(
+    "L106", Severity.ERROR,
+    "anti dependence violated",
+    """A write reads a different set of cells than before the pass —
+its operands were overwritten too early.""",
+)
+_register(
+    "L201", Severity.WARNING,
+    "pass declares no analysis-invalidation metadata",
+    """A registered pass declares neither 'preserves' nor 'invalidates';
+the analysis cache must conservatively treat it as invalidating every
+analysis kind.""",
+)
+
+# -- S: static reuse analysis -------------------------------------------------
+
+_register(
+    "S301", Severity.WARNING,
+    "evadable reuse (distance grows with input size)",
+    """The static analyzer proves the reuse class re-touches its data at
+a symbolic distance that grows with the program parameters (paper
+§2.1).  Such reuses miss in any fixed-size cache once the input is
+large enough — they are what fusion and regrouping exist to evade.""",
+)
+_register(
+    "S302", Severity.WARNING,
+    "fusion would contract a growing reuse distance",
+    """A growing cross-nest reuse connects two top-level nests whose
+outermost loops have provably equal bounds — the exact shape
+reuse-based fusion (§2.3) collapses into a loop-carried reuse with
+bounded distance.""",
+)
+_register(
+    "S303", Severity.INFO,
+    "regrouping candidate",
+    """A nest streams several arrays and carries long-distance reuse;
+data regrouping (§3) would interleave the arrays so one memory stream
+fetches them together.""",
+)
+_register(
+    "S310", Severity.WARNING,
+    "pass increased a symbolic reuse-distance bound",
+    """Cross-checking static profiles before and after a pass found a
+reuse class whose symbolic distance bound grew.  Legal but contrary to
+the optimization's purpose; flagged so a regressing pipeline stage is
+visible without running a trace.""",
+)

@@ -2,11 +2,13 @@
 
 Every check in :mod:`repro.verify` reports problems as
 :class:`Diagnostic` records collected in a :class:`DiagnosticBag`.  A
-diagnostic pairs a stable machine-readable ``code`` (``"V..."`` for IR
-lint findings, ``"L..."`` for pass-legality violations) with a location,
-the offending statement's source text, and free-form ``details`` —
-for dependence violations the details name the violated edge (kind,
-array element, source and sink statement instances).
+diagnostic pairs a stable machine-readable ``code`` with a location, the
+offending statement's source text, and free-form ``details`` — for
+dependence violations the details name the violated edge (kind, array
+element, source and sink statement instances).  Every code (the ``V``,
+``L``, and ``S`` families) is documented exactly once, in
+:mod:`repro.verify.codes`; the CLI's help table and ``lint --explain``
+render from that registry.
 
 Bags render both human-readable text and JSON, so the CLI's ``--json``
 mode and the raising :func:`DiagnosticBag.raise_if_errors` share one

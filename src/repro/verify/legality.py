@@ -314,10 +314,13 @@ class PassVerifier:
         program: Program,
         params: Optional[Mapping[str, int]] = None,
         steps: int = 1,
+        reuse_bounds: bool = False,
     ) -> None:
         self.params = params
         self.steps = steps
+        self.reuse_bounds = reuse_bounds
         self.baseline = snapshot_program(program, params, steps)
+        self._baseline_program = program
         self.history: list[tuple[str, DiagnosticBag]] = []
 
     def check(
@@ -330,6 +333,9 @@ class PassVerifier:
 
         Raises :class:`PassLegalityError` when the pass broke a
         dependence; the exception's ``bag`` carries the diagnostics.
+        With ``reuse_bounds=True`` the static S310 check also compares
+        symbolic reuse-distance bounds across the pass (warnings only —
+        a locality regression is suspicious, not illegal).
         """
         if strict is None:
             strict = pass_name not in RELAXED_PASSES
@@ -337,8 +343,17 @@ class PassVerifier:
         bag = check_legality(
             self.baseline, snap, pass_name=pass_name, strict=strict
         )
+        if self.reuse_bounds:
+            from .reuse_check import reuse_bound_check
+
+            bag.extend(
+                reuse_bound_check(
+                    self._baseline_program, program, pass_name, self.steps
+                )
+            )
         self.history.append((pass_name, bag))
         if bag.has_errors():
             raise PassLegalityError.from_bag(f"pass {pass_name!r}", bag)
         self.baseline = snap
+        self._baseline_program = program
         return bag

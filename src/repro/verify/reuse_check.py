@@ -1,0 +1,85 @@
+"""Symbolic reuse-bound regression check for compiler passes (S310).
+
+The legality checker proves a pass preserved *correctness*; this check
+watches the pass's *purpose*: a locality transformation should never
+push a reuse class's symbolic distance bound upward.  Both sides are
+static — no trace, no interpretation — so the check is cheap enough for
+``PassVerifier`` to run after every certified pass when opted in.
+
+Granularity is per array, not per reference: passes renumber references
+freely (distribution, fusion), but an array's *worst* reuse-distance
+bound is stable under renaming and is exactly the quantity fusion and
+regrouping exist to shrink.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..lang import Assumptions, Program
+from .diagnostics import DiagnosticBag
+
+#: parameter probe for comparing symbolic bounds numerically
+_PROBE = 10**4
+
+#: an after-bound must exceed before x slack to be reported — hull
+#: conservatism wobbles across structural rewrites; a genuine regression
+#: (bounded -> growing, or a higher-degree bound) clears 2x at the probe
+_SLACK = 2.0
+
+
+def array_distance_bounds(
+    program: Program,
+    steps: int = 1,
+    assume: Union[int, Assumptions, None] = None,
+) -> dict[str, float]:
+    """Per-array worst symbolic reuse-distance bound, at the probe size."""
+    from ..static import analyze_program  # lazy: keep layering acyclic
+
+    profile = analyze_program(program, steps=steps, assume=assume)
+    env = {p: _PROBE for p in profile.model.params}
+    out: dict[str, float] = {}
+    for cp in profile.classes:
+        worst = 0.0
+        for comp in cp.components:
+            count = float(comp.count.evaluate(env))
+            if count <= 0:
+                continue
+            worst = max(worst, float(comp.bound.evaluate(env)))
+        if worst > 0:
+            out[cp.ref.array] = max(out.get(cp.ref.array, 0.0), worst)
+    return out
+
+
+def reuse_bound_check(
+    before: Program,
+    after: Program,
+    pass_name: str = "",
+    steps: int = 1,
+    assume: Union[int, Assumptions, None] = None,
+) -> DiagnosticBag:
+    """S310 warnings for arrays whose worst distance bound grew.
+
+    Only arrays present on both sides are compared (passes may split,
+    merge, or retire arrays; new names have no baseline to regress
+    from).  Warnings never fail certification — a pass may legally trade
+    one array's locality for another's — but they make a regressing
+    stage visible without a trace.
+    """
+    bag = DiagnosticBag()
+    bounds_before = array_distance_bounds(before, steps, assume)
+    bounds_after = array_distance_bounds(after, steps, assume)
+    label = f" after pass {pass_name!r}" if pass_name else ""
+    for name in sorted(set(bounds_before) & set(bounds_after)):
+        b, a = bounds_before[name], bounds_after[name]
+        if a > b * _SLACK:
+            bag.warning(
+                "S310",
+                f"worst reuse-distance bound of {name!r} grew "
+                f"{b:.0f} -> {a:.0f} at the probe size{label}",
+                where=name,
+                before=b,
+                after=a,
+                **({"pass": pass_name} if pass_name else {}),
+            )
+    return bag

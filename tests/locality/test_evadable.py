@@ -3,6 +3,8 @@
 from repro.interp import trace_program
 from repro.locality import (
     classify_evadable,
+    classify_evadable_program,
+    classify_evadable_sizes,
     evadable_change,
     mean_distance_growth,
     per_class_stats,
@@ -77,6 +79,44 @@ def test_evadable_change_measures_reduction():
     after = classify_evadable(*traces(SRC_FUSED))
     change = evadable_change(before, after)
     assert change < -0.99  # essentially all evadable reuses removed
+
+
+# A reuse class that performs zero reuses at the smallest size: the guarded
+# read of A[i - 8] never finds a partner until N outgrows the guard window.
+# Its distance is flat (constant 8 elements apart) once it materializes, so
+# it must NOT classify as evadable merely for being absent at the small size.
+SRC_COLD_AT_SMALL = """
+program coldsmall
+param N
+real A[N], B[N]
+for i = 1, N {
+  A[i] = f(B[i])
+  when i in [10:N] { B[i] = g(A[i - 8]) }
+}
+"""
+
+
+def test_cold_only_at_small_size_uses_first_measured_baseline():
+    p = build(SRC_COLD_AT_SMALL)
+    sizes = [trace_program(p, {"N": n}) for n in (9, 64, 512)]
+    # at N=9 the guarded class never fires: classify_evadable on the two
+    # extremes would treat it as "absent at small" and call it evadable
+    assert not per_class_stats(sizes[0]) or all(
+        "A[(i - 8)]" != sizes[0].refs[r].text
+        for r in per_class_stats(sizes[0])
+    )
+    report = classify_evadable_sizes(sizes)
+    texts = {sizes[-1].refs[r].text for r in report.evadable_classes}
+    assert "A[(i - 8)]" not in texts  # flat distance -> not evadable
+
+
+def test_classify_evadable_program_static_matches_dynamic():
+    p = build(SRC)
+    small, large = {"N": 200}, {"N": 800}
+    static = classify_evadable_program(p, small, large)  # default: static
+    dynamic = classify_evadable_program(p, small, large, method="dynamic")
+    assert static.evadable_classes == dynamic.evadable_classes
+    assert static.evadable_classes  # the cross-loop read of A
 
 
 def test_mean_distance_growth():

@@ -1,0 +1,104 @@
+"""Property-based tests: the static analyzer vs. the dynamic engine.
+
+Two laws over randomly generated affine kernels:
+
+* for 1-D streaming loops (constant-shift recurrences plus extra
+  streamed arrays) the symbolic profile is *exact* — its histogram is
+  the dynamic histogram, at every generated size;
+* for random two-nest affine kernels the static distance *bound* of
+  each class is conservative: no dynamic reuse of that class is farther
+  than the evaluated bound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import trace_program
+from repro.lang import parse, validate
+from repro.locality import COLD, ReuseHistogram, reuse_distances
+from repro.static import analyze_program
+
+
+def _build(source: str):
+    return validate(parse(source))
+
+
+# -- 1-D streaming loops: exactness ---------------------------------------
+
+streaming = st.tuples(
+    st.integers(1, 4),  # recurrence shift k: A[i] = f(A[i-k], ...)
+    st.integers(0, 2),  # number of extra streamed read arrays
+    st.integers(12, 80),  # concrete N
+)
+
+
+@given(streaming)
+@settings(max_examples=40, deadline=None)
+def test_static_profile_exact_for_streaming_loops(case):
+    k, extra, n = case
+    reads = ", ".join(f"B{j}[i]" for j in range(extra))
+    decls = "".join(f", B{j}[N]" for j in range(extra))
+    src = f"""
+    program stream
+    param N
+    real A[N]{decls}
+    for i = {k + 1}, N {{ A[i] = f(A[i - {k}]{', ' + reads if reads else ''}) }}
+    """
+    program = _build(src)
+    profile = analyze_program(program)
+    tr = trace_program(program, {"N": n})
+    dynamic = ReuseHistogram.from_distances(reuse_distances(tr.global_keys()))
+    static = profile.histogram({"N": n})
+    assert static.cold == dynamic.cold
+    assert static.total == dynamic.total
+    assert list(static.counts) == list(dynamic.counts)
+
+
+# -- random affine two-nest kernels: conservative bounds ------------------
+
+
+@st.composite
+def affine_kernel(draw):
+    """Two nests over 2-D arrays with random constant-shift subscripts."""
+    s1 = draw(st.integers(0, 2))
+    s2 = draw(st.integers(0, 2))
+    t1 = draw(st.integers(0, 2))
+    lo = draw(st.integers(1, 3))
+    n = draw(st.integers(8, 20))
+    src = f"""
+    program rand
+    param N
+    real A[N, N], B[N, N]
+    for i = {lo}, N {{
+      for j = {1 + s1}, N {{ A[j, i] = f(A[j - {s1}, i], B[j, i]) }}
+    }}
+    for i = {1 + t1}, N - {s2} {{
+      for j = 1, N {{ B[j, i] = g(A[j, i + {s2}], B[j, i - {t1}]) }}
+    }}
+    """
+    return _build(src), n
+
+
+@given(affine_kernel())
+@settings(max_examples=25, deadline=None)
+def test_static_bound_dominates_dynamic_distance(case):
+    program, n = case
+    profile = analyze_program(program)
+    tr = trace_program(program, {"N": n})
+    distances = reuse_distances(tr.global_keys())
+    ids = np.asarray(tr.ref_ids)
+    cap = float(profile.footprint.evaluate({"N": n}))
+    for cp in profile.classes:
+        observed = distances[ids == cp.ref.ref_id]
+        observed = observed[observed != COLD]
+        if observed.size == 0:
+            continue
+        bound = max(
+            float(c.bound.evaluate({"N": n})) for c in cp.components
+        )
+        bound = min(bound, cap)  # a reuse can never exceed the footprint
+        assert float(observed.max()) <= bound + 0.5, (
+            f"{cp.ref.text}: dynamic max {observed.max()} "
+            f"exceeds static bound {bound}"
+        )

@@ -1,0 +1,103 @@
+"""CLI tests for ``repro static-reuse`` and ``repro lint --static``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+STREAM = """
+program stream
+param N
+real A[N], B[N], C[N]
+for i = 2, N { A[i] = f(A[i - 1], B[i]) }
+for i = 1, N { C[i] = g(A[i], B[i]) }
+"""
+
+
+@pytest.fixture
+def stream_file(tmp_path):
+    path = tmp_path / "stream.dsl"
+    path.write_text(STREAM)
+    return str(path)
+
+
+def test_static_reuse_runs_without_tracing(capsys):
+    # exit code 1 would mean trace.* metrics moved during the analysis
+    assert main(["static-reuse", "adi", "-p", "N=24", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["program"] == "adi"
+    assert payload["metrics"]["trace.accesses"] == 0
+    assert payload["metrics"]["analysis.static.runs"] == 1
+    assert payload["classes"]
+    assert payload["predicted"]["params"] == {"N": 24}
+    assert sum(payload["predicted"]["histogram"]) > 0
+
+
+def test_static_reuse_text_output(capsys):
+    assert main(["static-reuse", "adi"]) == 0
+    out = capsys.readouterr().out
+    assert "static reuse profile: adi" in out
+    assert "trace events generated: 0" in out
+
+
+def test_static_reuse_at_a_level(capsys):
+    assert main(["static-reuse", "adi", "--level", "fusion", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["metrics"]["trace.accesses"] == 0
+
+
+def test_lint_static_emits_s_codes(capsys, stream_file):
+    main(["lint", stream_file, "--static", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert any(c.startswith("S3") for c in codes)
+
+
+def test_lint_explain_documents_static_codes(capsys):
+    assert main(["lint", "--explain", "S301"]) == 0
+    out = capsys.readouterr().out
+    assert "S301" in out and "evadable" in out
+
+
+def test_lint_baseline_accepts_current_and_rejects_regressions(
+    capsys, tmp_path, stream_file
+):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "lint", stream_file, "--static",
+                "--write-baseline", str(baseline),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # the recorded baseline accepts exactly the current diagnostics
+    assert (
+        main(["lint", stream_file, "--static", "--baseline", str(baseline)])
+        == 0
+    )
+    capsys.readouterr()
+    # an emptied baseline turns every current diagnostic into a regression
+    counts = json.loads(baseline.read_text())
+    if any(c for c in counts.values()):
+        baseline.write_text(json.dumps({k: {} for k in counts}))
+        assert (
+            main(
+                ["lint", stream_file, "--static", "--baseline", str(baseline)]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "new diagnostics not in baseline" in out
+
+
+def test_lint_all_apps_against_checked_in_baseline(capsys):
+    # the repo gate: every bundled program, V+L+S families, no regressions
+    assert (
+        main(["lint", "--static", "--all-apps", "--baseline",
+              "lint-baseline.json"])
+        == 0
+    )

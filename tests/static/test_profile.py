@@ -1,0 +1,97 @@
+"""StaticProfile invariants: evaluation, histograms, classification.
+
+The profile is symbolic — one analysis, evaluable at any size — so the
+tests here check conservation laws (accesses are never created or lost),
+consistency between the evaluated views, and above all that *no trace is
+generated anywhere* (``analysis.static.*`` metrics tick, ``trace.*``
+stay put).
+"""
+
+from repro.locality import classify_evadable_stats
+from repro.obs import snapshot
+from repro.programs import registry
+from repro.static import analyze_program
+
+from conftest import build
+
+SRC = """
+program t
+param N
+real A[N], B[N]
+for i = 2, N { A[i] = f(A[i - 1]) }
+for i = 1, N { B[i] = g(A[i]) }
+"""
+
+
+def _trace_counter_total(counters) -> float:
+    return sum(v for k, v in counters.items() if k.startswith("trace."))
+
+
+def test_analysis_is_trace_free():
+    before = snapshot()["counters"]
+    profile = analyze_program(build(SRC))
+    after = snapshot()["counters"]
+    assert after.get("analysis.static.runs", 0) > before.get(
+        "analysis.static.runs", 0
+    )
+    assert _trace_counter_total(after) == _trace_counter_total(before)
+    assert profile.classes  # and it actually produced something
+
+
+def test_access_conservation_at_any_size():
+    profile = analyze_program(build(SRC))
+    for n in (16, 64, 257):
+        params = {"N": n}
+        total = float(profile.total_accesses().evaluate(params))
+        evaluated = profile.evaluate(params)
+        accounted = sum(ec.reuses + ec.cold for ec in evaluated)
+        assert accounted == total
+        hist = profile.histogram(params)
+        assert hist.total == int(total)
+
+
+def test_histogram_cold_matches_footprint():
+    # every distinct element is cold exactly once per run
+    profile = analyze_program(build(SRC))
+    params = {"N": 100}
+    hist = profile.histogram(params)
+    assert hist.cold == int(profile.footprint.evaluate(params))
+
+
+def test_miss_count_monotone_in_capacity():
+    profile = analyze_program(build(SRC))
+    params = {"N": 128}
+    misses = [profile.miss_count(params, c) for c in (4, 16, 64, 256, 4096)]
+    assert misses == sorted(misses, reverse=True)
+    # an infinite cache keeps only the cold misses
+    assert misses[-1] >= float(profile.histogram(params).cold)
+
+
+def test_symbolic_evadable_flags_the_cross_loop_read():
+    profile = analyze_program(build(SRC))
+    evadable = profile.symbolic_evadable()
+    texts = {profile.classes[r].ref.text for r in evadable}
+    assert "A[i]" in texts  # second loop re-reads A a whole sweep later
+    assert "A[(i - 1)]" not in texts  # recurrence reuse is constant
+
+
+def test_evadable_classes_uses_the_shared_decision_rule():
+    profile = analyze_program(build(SRC))
+    small, large = {"N": 128}, {"N": 512}
+    expected = classify_evadable_stats(
+        profile.class_stats(small), profile.class_stats(large)
+    ).evadable_classes
+    assert profile.evadable_classes(small, large) == expected
+
+
+def test_render_and_json_roundtrip():
+    entry = registry.get("adi")
+    profile = analyze_program(entry.build(), steps=entry.steps)
+    text = profile.render(dict(entry.small_params))
+    assert "static reuse profile: adi" in text
+    assert "evadable" in text
+    payload = profile.to_json(dict(entry.small_params))
+    assert payload["program"] == "adi"
+    assert payload["classes"]
+    assert payload["predicted"]["histogram"]
+    assert payload["evadable_symbolic"]

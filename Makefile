@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint static-lint smoke benchmarks
+.PHONY: check lint test self-lint static-lint smoke benchmarks bench-codegen
 
 check: lint test self-lint static-lint smoke
 
@@ -39,3 +39,8 @@ smoke:
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# interpreter-vs-codegen tracer benchmark at the fig-10 sizes; fails if
+# the traces are not bit-identical.  Refreshes BENCH_codegen.json.
+bench-codegen:
+	$(PYTHON) -m repro bench-codegen --json-out BENCH_codegen.json

@@ -16,6 +16,9 @@ Subcommands:
 * ``apps``           — list the bundled benchmark applications;
 * ``bench-engine``   — time the fast vs. reference simulation engines on
   one application and assert their metrics are bit-identical;
+* ``bench-codegen``  — time the interpreter vs. codegen trace backends
+  across applications and assert the traces are bit-identical
+  (``--json-out BENCH_codegen.json`` records the payload);
 * ``cache``          — inspect or clear the on-disk trace/result cache;
 * ``lint``           — static IR verification of a program (structure,
   loop bounds, subscript bounds, def-use hygiene); ``--static`` adds the
@@ -57,6 +60,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .core import OPT_LEVELS, compile_pipeline, compile_variant
+from .engines import TRACE_ENGINES, engine_spec
 from .core.pm import (
     PIPELINES,
     custom_pipeline,
@@ -141,6 +145,20 @@ def cmd_regroup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_measure_target(args: argparse.Namespace):
+    """The shared (program, params, machine, steps) resolution for every
+    measuring subcommand: registry names keep registry defaults, files
+    require explicit parameters and get the default scaled machine."""
+    params = _parse_params(args.param) or None
+    if args.target in APPLICATIONS:
+        return args.target, params, None, args.steps
+    program = _load_program(args.target)
+    if params is None:
+        raise SystemExit("measuring a file requires -p NAME=INT")
+    steps = args.steps if args.steps is not None else 1
+    return program, params, machine_for(MachineSpec()), steps
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     pipeline = _parse_passes(args)
     levels = args.levels.split(",")
@@ -152,38 +170,23 @@ def cmd_report(args: argparse.Namespace) -> int:
                 f"{', '.join(known_levels())} (see 'repro levels')"
             )
     cache = TraceCache(args.cache_dir) if args.cache else None
-    if args.target in APPLICATIONS:
-        results = run(
-            RunRequest(
-                program=args.target,
-                levels=levels,
-                pipeline=pipeline,
-                params=_parse_params(args.param) or None,
-                steps=args.steps,
-                engine=args.engine,
-                cache=cache,
-                verify=args.verify,
-            )
-        ).results
-        title = f"{args.target} (registry application, scaled machine)"
+    program, params, machine, steps = _resolve_measure_target(args)
+    results = run(
+        RunRequest(
+            program=program,
+            levels=levels,
+            pipeline=pipeline,
+            params=params,
+            machine=machine,
+            steps=steps,
+            engine=args.engine,
+            cache=cache,
+            verify=args.verify,
+        )
+    ).results
+    if isinstance(program, str):
+        title = f"{program} (registry application, scaled machine)"
     else:
-        program = _load_program(args.target)
-        params = _parse_params(args.param)
-        if not params:
-            raise SystemExit("measuring a file requires -p NAME=INT")
-        results = run(
-            RunRequest(
-                program=program,
-                levels=levels,
-                pipeline=pipeline,
-                params=params,
-                machine=machine_for(MachineSpec()),
-                steps=args.steps if args.steps is not None else 1,
-                engine=args.engine,
-                cache=cache,
-                verify=args.verify,
-            )
-        ).results
         title = f"{program.name} ({args.target})"
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results), title=title))
     if args.timings:
@@ -262,17 +265,106 @@ def cmd_bench_engine(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def cmd_bench_codegen(args: argparse.Namespace) -> int:
+    """Time the interpreter vs. codegen tracers; assert traces identical.
+
+    Measures end-to-end ``trace_program`` wall-clock (compile excluded,
+    trace construction included) at the registry's default — fig-10 —
+    sizes, best of ``--repeats``.  Writes the machine-readable
+    ``BENCH_codegen.json`` payload with ``--json-out``.
+    """
+    import numpy as np
+
+    from .codegen import trace_fingerprint
+    from .codegen import trace_program as codegen_trace
+    from .interp import trace_program as interp_trace
+
+    apps = args.apps.split(",")
+    levels = args.levels.split(",")
+    headers = ("program", "level", "accesses", "interp", "codegen", "speedup")
+    rows: list[list[object]] = []
+    records: list[dict[str, object]] = []
+    totals = {"interp": 0.0, "codegen": 0.0}
+    identical = True
+    for app in apps:
+        entry = registry.get(app)
+        params = _parse_params(args.param) or dict(entry.default_params)
+        steps = args.steps if args.steps is not None else entry.steps
+        program = validate(entry.build())
+        for level in levels:
+            variant = compile_variant(program, level)
+            times: dict[str, float] = {}
+            traces: dict[str, object] = {}
+            for tracer, fn in (("interp", interp_trace), ("codegen", codegen_trace)):
+                best = float("inf")
+                for _ in range(args.repeats):
+                    t0 = time.perf_counter()
+                    trace = fn(variant.program, params, steps=steps)
+                    best = min(best, time.perf_counter() - t0)
+                times[tracer], traces[tracer] = best, trace
+            a, b = traces["interp"], traces["codegen"]
+            same = (
+                a.array_names == b.array_names
+                and a.array_sizes == b.array_sizes
+                and all(
+                    np.array_equal(getattr(a, f), getattr(b, f))
+                    for f in ("array_ids", "elems", "writes", "ref_ids")
+                )
+            )
+            if not same:
+                identical = False
+                print(f"TRACE MISMATCH at {app}/{level}", file=sys.stderr)
+            totals["interp"] += times["interp"]
+            totals["codegen"] += times["codegen"]
+            speedup = times["interp"] / times["codegen"] if times["codegen"] else 0.0
+            rows.append(
+                [app, level, len(a), times["interp"], times["codegen"],
+                 f"{speedup:.1f}x"]
+            )
+            records.append(
+                {
+                    "program": app,
+                    "level": level,
+                    "params": params,
+                    "steps": steps,
+                    "accesses": len(a),
+                    "interp_seconds": round(times["interp"], 6),
+                    "codegen_seconds": round(times["codegen"], 6),
+                    "speedup": round(speedup, 2),
+                    "identical": same,
+                    "fingerprint": trace_fingerprint(a),
+                }
+            )
+    overall = totals["interp"] / totals["codegen"] if totals["codegen"] else 0.0
+    print(
+        format_table(
+            headers, rows,
+            title=f"tracer comparison (best of {args.repeats}; seconds)",
+        )
+    )
+    print(
+        f"\ntraces bit-identical across tracers: {identical}\n"
+        f"trace-gen wall-clock: interp {totals['interp']:.3f}s, "
+        f"codegen {totals['codegen']:.3f}s -> {overall:.2f}x speedup"
+    )
+    if args.json_out:
+        payload = {
+            "benchmark": "trace-generation: interpreter vs codegen backend",
+            "apps": args.apps,
+            "levels": args.levels,
+            "repeats": args.repeats,
+            "results": records,
+            "overall_speedup": round(overall, 2),
+            "identical": identical,
+        }
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json_out}")
+    return 0 if identical else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Profile one (program, level) run: span tree, metrics, peak memory."""
-    params = _parse_params(args.param) or None
-    if args.target in APPLICATIONS:
-        target: object = args.target
-        machine = None
-    else:
-        target = _load_program(args.target)
-        if params is None:
-            raise SystemExit("profiling a file requires -p NAME=INT")
-        machine = machine_for(MachineSpec())
+    target, params, machine, steps = _resolve_measure_target(args)
     outcome = run(
         RunRequest(
             program=target,
@@ -280,7 +372,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             pipeline=_parse_passes(args),
             params=params,
             machine=machine,
-            steps=args.steps,
+            steps=steps,
             engine=args.engine,
             cache=TraceCache(args.cache_dir) if args.cache else None,
             verify=args.verify,
@@ -454,6 +546,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         program = _load_target(target)
         bag = lint_program(program, assume=args.assume)
         if args.static:
+            from .codegen.plan import lint_codegen
             from .static import lint_static
 
             bag.extend(
@@ -461,6 +554,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                     program, steps=_lint_steps(target), assume=args.assume
                 )
             )
+            bag.extend(lint_codegen(program))
         bags[program.name] = bag
 
     if args.write_baseline:
@@ -700,7 +794,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_args = argparse.ArgumentParser(add_help=False)
     engine_args.add_argument(
-        "--engine", choices=ENGINES, default=None, help="simulation engine"
+        "--engine", type=engine_spec, default=None, metavar="SPEC",
+        help="engine spec: a simulation engine "
+        f"({'|'.join(ENGINES)}), a tracer ({'|'.join(TRACE_ENGINES)}), "
+        "or both joined by '+' (e.g. fast+interp)",
     )
     verify_args = argparse.ArgumentParser(add_help=False)
     verify_args.add_argument(
@@ -777,6 +874,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--levels", default="noopt,fusion,new")
     bench.add_argument("--repeats", type=int, default=3)
     bench.set_defaults(fn=cmd_bench_engine)
+
+    bench_cg = sub.add_parser(
+        "bench-codegen",
+        help="compare interpreter vs. codegen trace generation",
+        parents=[params_args],
+    )
+    bench_cg.add_argument(
+        "--apps", default="adi,swim,tomcatv,sp",
+        help="comma-separated registry apps (fig-10 set by default)",
+    )
+    bench_cg.add_argument("--levels", default="noopt,fusion,new")
+    bench_cg.add_argument("--repeats", type=int, default=3)
+    bench_cg.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="also write the machine-readable payload (BENCH_codegen.json)",
+    )
+    bench_cg.set_defaults(fn=cmd_bench_codegen)
 
     cache = sub.add_parser("cache", help="inspect or clear the trace/result cache")
     cache.add_argument("--dir", default=None, help="cache directory (default .cache)")

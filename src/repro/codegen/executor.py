@@ -1,0 +1,564 @@
+"""Vectorized execution of programs (the codegen execution backend).
+
+The reference :class:`~repro.interp.interpreter.Interpreter` evaluates
+one statement instance at a time in Python.  This backend picks, for
+each top-level loop nest, one *vectorization axis*: a loop whose lanes
+are proven free of cross-lane dependences, so every statement instance
+along it can be evaluated as a single batched float64 numpy op.  The
+remaining loops stay ordinary Python loops, which preserves all
+loop-carried dependences exactly as the interpreter runs them.
+
+Bit-for-bit equality with the interpreter (pinned by ``tests/codegen``)
+comes from replaying the scalar operation order per lane: IEEE-754 adds,
+multiplies, divides, and correctly-rounded ``sqrt`` are elementwise
+identical whether evaluated by Python floats or numpy float64 arrays,
+and opaque functions are expanded through
+:meth:`~repro.interp.funcs.FunctionTable.linear_spec` in the exact
+``sum(c*a ...) + offset`` association the scalar table uses.  Builtins
+without that guarantee (``exp``/``sin``/``cos``/``min``/``max``) make
+the enclosing loop fall back to the interpreter instead.
+
+Legality is decided by :func:`plan_execution`: a conservative
+cross-lane dependence test over every pair of same-array references
+(at least one a write) in the candidate loop's subtree, using folded
+integer-affine subscripts, value ranges of the surrounding loop
+variables, and a gcd feasibility refinement.  Any doubt means the loop
+is *not* vectorized — the fallback is the oracle itself, so the result
+is still exact, just slower; ``codegen.exec.*`` metrics record which.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..interp.funcs import _BUILTINS, DEFAULT_FUNCTIONS, FunctionTable
+from ..interp.interpreter import Interpreter
+from ..interp.state import check_params, init_arrays
+from ..interp import tracegen as _tg
+from ..lang import (
+    AnalysisError,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    CallStmt,
+    Const,
+    Expr,
+    Guard,
+    IndexVar,
+    Loop,
+    Param,
+    Program,
+    ScalarRef,
+    Stmt,
+    UnaryOp,
+    ValidationError,
+)
+from ..obs import metrics
+from .lowering import CodegenUnsupported, int_affine
+
+#: builtins whose numpy evaluation is bit-identical to the math module
+_VECTOR_BUILTINS = frozenset({"sqrt", "abs"})
+
+#: cap on lane-distance enumeration in the dependence test; beyond this
+#: the test conservatively reports a conflict
+_MAX_DISTANCE_ENUM = 8192
+
+
+@dataclass(frozen=True)
+class LoopDecision:
+    """Outcome of one vectorization attempt (for metrics and tests)."""
+
+    index: str
+    vectorized: bool
+    reason: Optional[str] = None
+
+
+@dataclass
+class ExecPlan:
+    """Which loops run vectorized, keyed by AST node identity."""
+
+    vectorized: dict[int, str] = field(default_factory=dict)
+    decisions: list[LoopDecision] = field(default_factory=list)
+
+    @property
+    def fallback_reasons(self) -> tuple[str, ...]:
+        return tuple(d.reason for d in self.decisions if not d.vectorized)
+
+
+# -- planning ----------------------------------------------------------------
+
+
+def _interval_eval(form, params, ranges) -> tuple[int, int]:
+    """Concrete [min, max] of an affine form over loop-variable ranges."""
+    const, terms = int_affine(form, params)
+    lo = hi = const
+    for name, coeff in terms:
+        if name not in ranges:
+            raise CodegenUnsupported(f"unbound loop variable {name!r}")
+        vlo, vhi = ranges[name]
+        lo += min(coeff * vlo, coeff * vhi)
+        hi += max(coeff * vlo, coeff * vhi)
+    return lo, hi
+
+
+class _SubtreeInfo:
+    """Everything the dependence test needs about a candidate subtree."""
+
+    def __init__(self) -> None:
+        # array name -> list of (const, {var: coeff}, is_write)
+        self.refs: dict[str, list[tuple[int, dict[str, int], bool]]] = {}
+        self.inner_ranges: dict[str, tuple[int, int]] = {}
+
+
+class _Planner:
+    def __init__(self, program: Program, params: Mapping[str, int]) -> None:
+        self.program = program
+        self.params = params
+        self.compiler = _tg._Compiler(program, params)  # for linform/strides
+        self.plan = ExecPlan()
+        self._rejected: set[int] = set()
+        self._axis_lo = 0
+
+    def run(self) -> ExecPlan:
+        for stmt in self.program.body:
+            self._visit(stmt, {})
+        return self.plan
+
+    def _visit(self, stmt: Stmt, ranges: dict[str, tuple[int, int]]) -> None:
+        if isinstance(stmt, Guard):
+            for s in stmt.body + stmt.else_body:
+                self._visit(s, ranges)
+            return
+        if not isinstance(stmt, Loop):
+            return
+        try:
+            lo_r = _interval_eval(stmt.lower.affine(), self.params, ranges)
+            hi_r = _interval_eval(stmt.upper.affine(), self.params, ranges)
+        except (CodegenUnsupported, AnalysisError):
+            return  # bounds outside the subset: leave the whole nest scalar
+        rng = (lo_r[0], hi_r[1])
+        if rng[1] < rng[0]:
+            return  # provably zero-trip
+        reason = self._try_vectorize(stmt, ranges, rng)
+        node_id = id(stmt)
+        if reason is None:
+            # an aliased subtree must be legal under *every* context it
+            # appears in; a prior failure therefore wins
+            if node_id not in self._rejected:
+                self.plan.vectorized[node_id] = stmt.index
+            self.plan.decisions.append(LoopDecision(stmt.index, True))
+            return
+        self._rejected.add(node_id)
+        self.plan.vectorized.pop(node_id, None)
+        self.plan.decisions.append(LoopDecision(stmt.index, False, reason))
+        inner = dict(ranges)
+        inner[stmt.index] = rng
+        for s in stmt.body:
+            self._visit(s, inner)
+
+    # -- legality -----------------------------------------------------------
+
+    def _try_vectorize(
+        self, loop: Loop, outer: dict[str, tuple[int, int]], rng: tuple[int, int]
+    ) -> Optional[str]:
+        """None when ``loop`` may vectorize along its own index, else why not."""
+        axis = loop.index
+        known = dict(outer)
+        known[axis] = rng
+        info = _SubtreeInfo()
+        try:
+            self._collect(loop.body, axis, known, info)
+        except CodegenUnsupported as exc:
+            return exc.reason
+        except AnalysisError as exc:
+            return str(exc)
+        span = rng[1] - rng[0]
+        self._axis_lo = rng[0]
+        for refs in info.refs.values():
+            for i, (kf, tf, wf) in enumerate(refs):
+                for kg, tg_, wg in refs[i:]:
+                    if not (wf or wg):
+                        continue
+                    if self._conflict(kf, tf, kg, tg_, axis, span, outer, info):
+                        return f"cross-lane dependence on axis {axis!r}"
+        return None
+
+    def _collect(
+        self,
+        body: tuple[Stmt, ...],
+        axis: str,
+        known: dict[str, tuple[int, int]],
+        info: _SubtreeInfo,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                if isinstance(stmt.target, ScalarRef):
+                    raise CodegenUnsupported(
+                        f"scalar assignment to {stmt.target.name!r}"
+                    )
+                self._collect_expr(stmt.expr, info)
+                self._add_ref(stmt.target, True, info)
+            elif isinstance(stmt, Loop):
+                lo = stmt.lower.affine()
+                hi = stmt.upper.affine()
+                if lo.coeff(axis) != 0 or hi.coeff(axis) != 0:
+                    raise CodegenUnsupported(
+                        f"inner loop {stmt.index!r} bounds depend on axis"
+                    )
+                rng = (
+                    _interval_eval(lo, self.params, known)[0],
+                    _interval_eval(hi, self.params, known)[1],
+                )
+                info.inner_ranges[stmt.index] = rng
+                sub = dict(known)
+                sub[stmt.index] = rng
+                self._collect(stmt.body, axis, sub, info)
+            elif isinstance(stmt, Guard):
+                if stmt.index != axis:
+                    if stmt.index not in known:
+                        raise CodegenUnsupported(
+                            f"guard on unbound index {stmt.index!r}"
+                        )
+                    for iv in stmt.intervals:
+                        if iv.lower.coeff(axis) != 0 or iv.upper.coeff(axis) != 0:
+                            raise CodegenUnsupported(
+                                "guard endpoints depend on axis"
+                            )
+                self._collect(stmt.body, axis, known, info)
+                self._collect(stmt.else_body, axis, known, info)
+            else:
+                raise CodegenUnsupported(
+                    f"cannot vectorize {type(stmt).__name__}"
+                )
+
+    def _collect_expr(self, expr: Expr, info: _SubtreeInfo) -> None:
+        if isinstance(expr, ArrayRef):
+            self._add_ref(expr, False, info)
+        elif isinstance(expr, BinOp):
+            self._collect_expr(expr.left, info)
+            self._collect_expr(expr.right, info)
+        elif isinstance(expr, UnaryOp):
+            self._collect_expr(expr.operand, info)
+        elif isinstance(expr, Call):
+            if expr.func in _BUILTINS and expr.func not in _VECTOR_BUILTINS:
+                raise CodegenUnsupported(
+                    f"builtin {expr.func!r} lacks a bit-exact vector form"
+                )
+            for a in expr.args:
+                self._collect_expr(a, info)
+        # Const/Param/IndexVar/ScalarRef carry no array accesses
+
+    def _add_ref(self, ref: ArrayRef, is_write: bool, info: _SubtreeInfo) -> None:
+        const, terms = int_affine(self.compiler.linform(ref), self.params)
+        info.refs.setdefault(ref.array, []).append(
+            (const, dict(terms), is_write)
+        )
+
+    # -- dependence test ----------------------------------------------------
+
+    def _conflict(
+        self,
+        kf: int,
+        tf: dict[str, int],
+        kg: int,
+        tg_: dict[str, int],
+        axis: str,
+        span: int,
+        outer: dict[str, tuple[int, int]],
+        info: _SubtreeInfo,
+    ) -> bool:
+        """Can instances on *different* lanes touch the same element?
+
+        Conservative: True means "maybe" (fall back), False is a proof.
+        """
+        c_f = tf.get(axis, 0)
+        c_g = tg_.get(axis, 0)
+        base = kf - kg
+        terms: list[tuple[int, int, int]] = []  # (coeff, lo, hi)
+
+        def add(coeff: int, name: str, inner: bool) -> bool:
+            rng = info.inner_ranges.get(name) if inner else outer.get(name)
+            if rng is None:
+                return False
+            if coeff:
+                terms.append((coeff, rng[0], rng[1]))
+            return True
+
+        for name in set(tf) | set(tg_):
+            if name == axis:
+                continue
+            cf, cg = tf.get(name, 0), tg_.get(name, 0)
+            if name in info.inner_ranges:
+                # independent instances: two separate copies
+                if not (add(cf, name, True) and add(-cg, name, True)):
+                    return True
+            elif name in outer:
+                if not add(cf - cg, name, False):
+                    return True
+            else:
+                return True  # unknown variable: assume conflict
+
+        if c_f != c_g:
+            # different axis coefficients: treat both lane values as free
+            terms.append((c_f, 0, span))
+            terms.append((-c_g, 0, span))
+            base += (c_f - c_g) * self._axis_lo
+            return self._attainable(0, base, terms)
+
+        if c_f == 0:
+            return self._attainable(0, base, terms)
+        if span > _MAX_DISTANCE_ENUM:
+            return True
+        for d in range(-span, span + 1):
+            if d and self._attainable(-c_f * d, base, terms):
+                return True
+        return False
+
+    @staticmethod
+    def _attainable(target: int, base: int, terms) -> bool:
+        """May ``base + sum(c_k * t_k)`` equal ``target``? (necessary tests)"""
+        lo = hi = base
+        g = 0
+        for coeff, vlo, vhi in terms:
+            lo += min(coeff * vlo, coeff * vhi)
+            hi += max(coeff * vlo, coeff * vhi)
+            g = gcd(g, abs(coeff))
+        if not lo <= target <= hi:
+            return False
+        if g == 0:
+            return target == base
+        return (target - base) % g == 0
+
+
+def plan_execution(program: Program, params: Mapping[str, int]) -> ExecPlan:
+    """Choose a vectorization axis per loop nest of ``program``.
+
+    Pure analysis — safe to cache per (program, params); the executor
+    calls it once in its constructor.
+    """
+    bound = check_params(program, params)
+    return _Planner(program, bound).run()
+
+
+# -- execution ---------------------------------------------------------------
+
+
+class CodegenExecutor:
+    """Drop-in vectorized twin of :class:`~repro.interp.Interpreter`.
+
+    Composes an interpreter for shared state (arrays, scalars, the
+    integer environment) and for every construct the plan leaves
+    scalar, so the fallback path *is* the oracle.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        params: Mapping[str, int],
+        functions: FunctionTable = DEFAULT_FUNCTIONS,
+    ) -> None:
+        self.interp = Interpreter(program, params, functions)
+        self.plan = plan_execution(program, params)
+        self._sub_cache: dict[int, list[tuple[int, tuple[tuple[str, int], ...]]]] = {}
+
+    @property
+    def program(self) -> Program:
+        return self.interp.program
+
+    def run(self, seed: int = 2001, steps: int = 1) -> dict[str, np.ndarray]:
+        """Bit-for-bit the same arrays ``Interpreter.run`` would return."""
+        interp = self.interp
+        program = interp.program
+        interp.arrays = init_arrays(program, interp.params, seed)
+        interp.scalars = {name: 0.0 for name in program.scalars}
+        for decl in program.arrays:
+            interp._extent_cache[decl.name] = decl.shape(interp.params)
+        n_vec = len(self.plan.vectorized)
+        n_fall = sum(1 for d in self.plan.decisions if not d.vectorized)
+        metrics.inc("codegen.exec.runs")
+        metrics.inc("codegen.exec.loops.vectorized", n_vec)
+        if n_fall:
+            metrics.inc("codegen.exec.loops.fallback", n_fall)
+            for reason in set(self.plan.fallback_reasons):
+                metrics.inc(f"codegen.exec.fallback[{reason}]")
+        for _ in range(steps):
+            self._exec_body(program.body)
+        return interp.arrays
+
+    # -- scalar walk (delegating to the interpreter) -------------------------
+
+    def _exec_body(self, body: tuple[Stmt, ...]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: Stmt) -> None:
+        interp = self.interp
+        if isinstance(stmt, Loop):
+            if id(stmt) in self.plan.vectorized:
+                self._run_vector(stmt)
+                return
+            lo = interp._eval_int(stmt.lower)
+            hi = interp._eval_int(stmt.upper)
+            env = interp._env
+            for i in range(lo, hi + 1):
+                env[stmt.index] = i
+                self._exec_body(stmt.body)
+            env.pop(stmt.index, None)
+        elif isinstance(stmt, Guard):
+            value = interp._env.get(stmt.index)
+            if value is None:
+                raise ValidationError(f"guard index {stmt.index!r} unbound")
+            if interp._in_intervals(stmt, value):
+                self._exec_body(stmt.body)
+            else:
+                self._exec_body(stmt.else_body)
+        else:
+            interp.exec_stmt(stmt)
+
+    # -- vector runtime ------------------------------------------------------
+
+    def _run_vector(self, loop: Loop) -> None:
+        interp = self.interp
+        lo = interp._eval_int(loop.lower)
+        hi = interp._eval_int(loop.upper)
+        if lo > hi:
+            return
+        avals = np.arange(lo, hi + 1, dtype=np.int64)
+        self._vec_body(loop.body, loop.index, avals)
+
+    def _vec_body(self, body: tuple[Stmt, ...], var: str, avals: np.ndarray) -> None:
+        if avals.size == 0:
+            return
+        for stmt in body:
+            self._vec_stmt(stmt, var, avals)
+
+    def _vec_stmt(self, stmt: Stmt, var: str, avals: np.ndarray) -> None:
+        interp = self.interp
+        if isinstance(stmt, Assign):
+            value = self._vec_eval(stmt.expr, var, avals)
+            target = stmt.target
+            interp.arrays[target.array][
+                self._vec_subscripts(target, var, avals)
+            ] = value
+        elif isinstance(stmt, Loop):
+            lo = interp._eval_int(stmt.lower)
+            hi = interp._eval_int(stmt.upper)
+            env = interp._env
+            for i in range(lo, hi + 1):
+                env[stmt.index] = i
+                self._vec_body(stmt.body, var, avals)
+            env.pop(stmt.index, None)
+        elif isinstance(stmt, Guard):
+            if stmt.index == var:
+                mask = np.zeros(avals.shape, dtype=bool)
+                for iv in stmt.intervals:
+                    lo_v = self._affine_over(iv.lower, var, avals)
+                    hi_v = self._affine_over(iv.upper, var, avals)
+                    mask |= (avals >= lo_v) & (avals <= hi_v)
+                self._vec_body(stmt.body, var, avals[mask])
+                self._vec_body(stmt.else_body, var, avals[~mask])
+            else:
+                value = interp._env[stmt.index]
+                if interp._in_intervals(stmt, value):
+                    self._vec_body(stmt.body, var, avals)
+                else:
+                    self._vec_body(stmt.else_body, var, avals)
+        else:  # pragma: no cover - excluded by planning
+            raise ValidationError(f"cannot vectorize {type(stmt).__name__}")
+
+    def _affine_over(self, form, var: str, avals: np.ndarray):
+        """Evaluate an Affine: int scalar, or int64 array along ``var``."""
+        const, terms = int_affine(form, self.interp.params)
+        out = const
+        for name, coeff in terms:
+            out = out + coeff * (avals if name == var else self.interp._env[name])
+        return out
+
+    def _vec_subscripts(self, ref: ArrayRef, var: str, avals: np.ndarray):
+        folded = self._sub_cache.get(id(ref))
+        if folded is None:
+            folded = [
+                int_affine(sub.affine(), self.interp.params) for sub in ref.indices
+            ]
+            self._sub_cache[id(ref)] = folded
+        extents = self.interp._extent_cache[ref.array]
+        out = []
+        for k, (const, terms) in enumerate(folded):
+            idx = const
+            for name, coeff in terms:
+                idx = idx + coeff * (
+                    avals if name == var else self.interp._env[name]
+                )
+            if isinstance(idx, np.ndarray):
+                lo, hi = (int(idx.min()), int(idx.max())) if idx.size else (1, 1)
+            else:
+                lo = hi = idx
+            if lo < 1 or hi > extents[k]:
+                bad = lo if lo < 1 else hi
+                raise ValidationError(
+                    f"{ref.array}[...] dim {k}: index {bad} outside 1..{extents[k]}"
+                )
+            out.append(idx - 1)
+        return tuple(out)
+
+    def _vec_eval(self, expr: Expr, var: str, avals: np.ndarray):
+        interp = self.interp
+        if isinstance(expr, Const):
+            return float(expr.value)
+        if isinstance(expr, IndexVar):
+            if expr.name == var:
+                return avals.astype(np.float64)
+            return float(interp._env[expr.name])
+        if isinstance(expr, Param):
+            return float(interp._env[expr.name])
+        if isinstance(expr, ScalarRef):
+            return interp.scalars[expr.name]
+        if isinstance(expr, ArrayRef):
+            return interp.arrays[expr.array][self._vec_subscripts(expr, var, avals)]
+        if isinstance(expr, BinOp):
+            lhs = self._vec_eval(expr.left, var, avals)
+            rhs = self._vec_eval(expr.right, var, avals)
+            if expr.op == "+":
+                return lhs + rhs
+            if expr.op == "-":
+                return lhs - rhs
+            if expr.op == "*":
+                return lhs * rhs
+            if expr.op == "/":
+                return lhs / rhs
+            raise ValidationError(f"unknown operator {expr.op!r}")
+        if isinstance(expr, UnaryOp):
+            return -self._vec_eval(expr.operand, var, avals)
+        if isinstance(expr, Call):
+            args = [self._vec_eval(a, var, avals) for a in expr.args]
+            if expr.func in _BUILTINS:
+                if expr.func == "sqrt":
+                    return np.sqrt(np.abs(args[0]))
+                if expr.func == "abs":
+                    return np.abs(args[0])
+                raise ValidationError(  # pragma: no cover - excluded by planning
+                    f"builtin {expr.func!r} not vectorizable"
+                )
+            coeffs, offset = interp.functions.linear_spec(expr.func, len(args))
+            acc = np.float64(0.0)
+            for c, a in zip(coeffs, args):
+                acc = acc + c * a
+            return acc + offset
+        raise ValidationError(f"cannot evaluate {expr!r}")
+
+
+def run_program(
+    program: Program,
+    params: Mapping[str, int],
+    seed: int = 2001,
+    steps: int = 1,
+    functions: Optional[FunctionTable] = None,
+) -> dict[str, np.ndarray]:
+    """Convenience wrapper mirroring :func:`repro.interp.run_program`."""
+    executor = CodegenExecutor(program, params, functions or DEFAULT_FUNCTIONS)
+    return executor.run(seed=seed, steps=steps)

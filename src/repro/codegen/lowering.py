@@ -1,0 +1,70 @@
+"""Shared lowering utilities for the codegen backends.
+
+The supported subset is *integer affine*: after folding the concrete
+parameter binding into an :class:`~repro.lang.Affine` form, every
+remaining coefficient and the constant must be integers over loop
+variables.  Anything else (fractional strides, unbound guard indices,
+un-inlined calls, packing-capacity overflow) raises
+:class:`CodegenUnsupported`, which the backends catch to fall back to
+the interpreter oracle — out-of-bounds accesses, by contrast, stay
+:class:`~repro.lang.AnalysisError` exactly as in the interpreter path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+import numpy as np
+
+from ..lang import Affine
+
+
+class CodegenUnsupported(Exception):
+    """A construct falls outside the codegen backend's supported subset."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+def int_affine(
+    form: Affine, params: Mapping[str, int]
+) -> tuple[int, tuple[tuple[str, int], ...]]:
+    """Fold ``params`` into ``form``; require integral residual terms.
+
+    Returns ``(const, ((var, coeff), ...))`` over loop variables only.
+    """
+    const = form.const
+    terms = []
+    for name, coeff in form.coeffs:
+        if name in params:
+            const += coeff * params[name]
+        else:
+            if coeff.denominator != 1:
+                raise CodegenUnsupported(
+                    f"fractional coefficient {coeff} of {name!r}"
+                )
+            terms.append((name, int(coeff)))
+    if const.denominator != 1:
+        raise CodegenUnsupported(f"fractional constant {const} after binding")
+    return int(const), tuple(terms)
+
+
+def trace_fingerprint(trace) -> str:
+    """Stable hash of an :class:`~repro.interp.trace.AccessTrace`.
+
+    Same scheme as :func:`repro.harness.cache.layout_fingerprint`
+    (sha256 prefix), over every array that defines trace equality, so
+    the committed golden fingerprints diff readably per variant.
+    """
+    h = hashlib.sha256()
+    h.update(repr(trace.array_names).encode())
+    h.update(repr(trace.array_sizes).encode())
+    h.update(repr([(r.ref_id, r.stmt_id, r.array, r.is_write, r.text) for r in trace.refs]).encode())
+    for arr in (trace.array_ids, trace.elems, trace.ref_ids):
+        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+    h.update(np.packbits(np.asarray(trace.writes, dtype=bool)).tobytes())
+    if trace.instr_ids is not None:
+        h.update(np.ascontiguousarray(trace.instr_ids, dtype=np.int64).tobytes())
+    return h.hexdigest()[:16]

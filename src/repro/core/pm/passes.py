@@ -61,6 +61,7 @@ class PassContext:
     #: byproducts deposited by passes
     fusion_report: Optional[object] = None
     regroup_plan: Optional[object] = None
+    codegen_plan: Optional[object] = None
     layout_factory: Optional[Callable] = None
     #: the open span of the currently running pass (set by the manager)
     _span: Optional[object] = None
@@ -230,6 +231,24 @@ def _sgi(program: Program, ctx: PassContext) -> Program:
     return p
 
 
+def _codegen_plan(program: Program, ctx: PassContext) -> Program:
+    """Classify nests for the codegen backend; the program is untouched."""
+    from ...codegen.plan import plan_program
+
+    plan = plan_program(program)
+    ctx.codegen_plan = plan
+    ctx.annotate(
+        nests=len(plan.nests),
+        fallback_nests=len(plan.fallback_nests),
+    )
+    ctx.stages["codegen"] = {
+        "nests": len(plan.nests),
+        "fallback_nests": len(plan.fallback_nests),
+        "summary": plan.summary(),
+    }
+    return program
+
+
 def _mckinley(program: Program, ctx: PassContext) -> Program:
     from ...baselines.mckinley import mckinley_transform
 
@@ -279,6 +298,12 @@ register_pass(FunctionPass(
 register_pass(FunctionPass(
     "regroup", _regroup,
     description="multi-level data regrouping plan + layout (§3, Fig. 8)",
+    preserves=ALL_KINDS,
+    certify=False,
+))
+register_pass(FunctionPass(
+    "codegen-plan", _codegen_plan,
+    description="classify nests for the codegen trace backend (analysis only)",
     preserves=ALL_KINDS,
     certify=False,
 ))

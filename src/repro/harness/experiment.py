@@ -22,6 +22,7 @@ from typing import Mapping, Optional, Sequence, Union
 
 from ..core import CompiledVariant, compile_pipeline, compile_variant
 from ..core.fusion import FusionOptions
+from ..engines import EngineSelection, resolve_engines
 from ..core.regroup import RegroupOptions
 from ..interp import trace_program
 from ..interp.trace import AccessTrace
@@ -90,6 +91,33 @@ def stage_timer(timings: dict, stage: str):
         timings[stage] = timings.get(stage, 0.0) + time.perf_counter() - t0
 
 
+def _generate_trace(
+    selection: EngineSelection,
+    program: Program,
+    params: Mapping[str, int],
+    steps: int,
+    timings: dict,
+) -> AccessTrace:
+    """Generate the trace with the selected tracer, under the pinned span.
+
+    Both tracers produce bit-for-bit identical traces (the contract the
+    differential suite under ``tests/codegen/`` enforces), so callers —
+    and the trace cache — never observe which one ran except through the
+    ``tracer`` span attribute and the ``codegen.*`` metrics.
+    """
+    with span("trace-gen", steps=steps, tracer=selection.tracer) as sp:
+        if selection.tracer == "codegen":
+            from ..codegen import trace_program as codegen_trace_program
+
+            trace = codegen_trace_program(program, params, steps=steps)
+        else:
+            trace = trace_program(program, params, steps=steps)
+    timings["trace-gen"] = sp.duration_s
+    metrics.inc("trace.generated")
+    metrics.inc("trace.accesses", len(trace))
+    return trace
+
+
 def machine_for(spec) -> MachineConfig:
     """Build the scaled machine for a registry entry's MachineSpec."""
     if isinstance(spec, str):
@@ -109,7 +137,7 @@ def measure_variant(
     name: Optional[str] = None,
     fusion_options: Optional[FusionOptions] = None,
     regroup_options: Optional[RegroupOptions] = None,
-    engine: Optional[str] = None,
+    engine: Union[None, str, EngineSelection] = None,
     cache: Optional[TraceCache] = None,
     verify: Union[bool, PassVerifier] = False,
     result_cache: bool = True,
@@ -117,10 +145,13 @@ def measure_variant(
 ) -> VariantResult:
     """Compile at ``level``, trace, and simulate one program variant.
 
-    ``engine`` selects the simulation engine (``"fast"``/``"reference"``,
-    default per :func:`repro.memsim.default_engine`).  ``cache`` replays
-    address streams — and whole results, when the machine and engine also
-    match — from disk instead of re-tracing; ``result_cache=False``
+    ``engine`` is a spec per :func:`repro.engines.resolve_engines`: a
+    simulation engine (``"fast"``/``"reference"``), a tracer
+    (``"codegen"``/``"interp"``), or both (``"fast+interp"``).  ``cache``
+    replays address streams — and whole results, when the machine and
+    simulation engine also match — from disk instead of re-tracing
+    (tracers produce bit-identical traces, so trace/result entries are
+    shared across them); ``result_cache=False``
     keeps the trace cache but always re-simulates (benchmarking).
     ``verify`` threads a pass-legality check through
     :func:`~repro.core.compile_variant` (True, or a
@@ -130,7 +161,8 @@ def measure_variant(
     :class:`~repro.core.PipelineSpec` (``level`` stays the row label).
     Per-stage seconds land in :attr:`VariantResult.timings`.
     """
-    engine = engine or default_engine()
+    selection = resolve_engines(engine)
+    engine = selection.sim
     timings: dict[str, float] = {}
     with span("compile", level=level) as sp:
         if pipeline is not None:
@@ -177,11 +209,7 @@ def measure_variant(
         if cached is not None:
             addresses, writes = cached
         else:
-            with span("trace-gen", steps=steps) as sp:
-                trace = trace_program(variant.program, params, steps=steps)
-            timings["trace-gen"] = sp.duration_s
-            metrics.inc("trace.generated")
-            metrics.inc("trace.accesses", len(trace))
+            trace = _generate_trace(selection, variant.program, params, steps, timings)
             with span("addresses") as sp:
                 addresses = layout.addresses(trace, in_bytes=True)
             timings["addresses"] = sp.duration_s
@@ -194,11 +222,7 @@ def measure_variant(
             cache.store_result(rkey, stats)
         return _result(stats, len(addresses))
 
-    with span("trace-gen", steps=steps) as sp:
-        trace = trace_program(variant.program, params, steps=steps)
-    timings["trace-gen"] = sp.duration_s
-    metrics.inc("trace.generated")
-    metrics.inc("trace.accesses", len(trace))
+    trace = _generate_trace(selection, variant.program, params, steps, timings)
     stats = simulate_hierarchy(
         trace, layout, machine, engine=engine, timings=timings
     )

@@ -43,6 +43,29 @@ class FunctionTable:
 
     def __init__(self) -> None:
         self._cache: dict[tuple[str, int], Callable[..., float]] = {}
+        self._specs: dict[tuple[str, int], tuple[tuple[float, ...], float]] = {}
+
+    def linear_spec(
+        self, name: str, arity: int
+    ) -> "tuple[tuple[float, ...], float] | None":
+        """The ``(coeffs, offset)`` of an opaque function; None for builtins.
+
+        The vectorized executor uses this to replay
+        ``sum(c * a for ...) + offset`` as batched float64 ops in the exact
+        scalar operation order, keeping results bit-for-bit identical.
+        """
+        if name in _BUILTINS:
+            return None
+        key = (name, arity)
+        spec = self._specs.get(key)
+        if spec is None:
+            coeffs = tuple(_stable_unit(name, arity, k) for k in range(arity))
+            # scale so the combination is an average-like contraction
+            total = sum(coeffs) or 1.0
+            coeffs = tuple(c / total for c in coeffs)
+            offset = (_stable_unit(name, arity, arity) - 0.5) * 0.01
+            spec = self._specs[key] = (coeffs, offset)
+        return spec
 
     def resolve(self, name: str, arity: int) -> Callable[..., float]:
         if name in _BUILTINS:
@@ -50,11 +73,7 @@ class FunctionTable:
         key = (name, arity)
         fn = self._cache.get(key)
         if fn is None:
-            coeffs = tuple(_stable_unit(name, arity, k) for k in range(arity))
-            # scale so the combination is an average-like contraction
-            total = sum(coeffs) or 1.0
-            coeffs = tuple(c / total for c in coeffs)
-            offset = (_stable_unit(name, arity, arity) - 0.5) * 0.01
+            coeffs, offset = self.linear_spec(name, arity)
 
             def fn(*args: float, _coeffs=coeffs, _offset=offset) -> float:
                 return sum(c * a for c, a in zip(_coeffs, args)) + _offset

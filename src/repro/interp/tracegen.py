@@ -91,12 +91,24 @@ class _Compiler:
             self.sizes.append(acc)
         self.refs: list[RefInfo] = []
         self.stmt_count = 0
+        self._linform_cache: dict[ArrayRef, Affine] = {}
 
     def linform(self, ref: ArrayRef) -> Affine:
-        strides = self.strides[ref.array]
-        form = Affine.constant(0)
-        for k, sub in enumerate(ref.indices):
-            form = form + sub.affine() * strides[k] - strides[k]
+        # memoized and accumulated in a flat dict: textually repeated
+        # references are common, and building the sum through Affine
+        # operators churns intermediate Fraction tuples
+        form = self._linform_cache.get(ref)
+        if form is None:
+            strides = self.strides[ref.array]
+            const = 0
+            terms: dict[str, object] = {}
+            for k, sub in enumerate(ref.indices):
+                a = sub.affine()
+                s = strides[k]
+                const += a.const * s - s
+                for n, c in a.coeffs:
+                    terms[n] = terms.get(n, 0) + c * s
+            form = self._linform_cache[ref] = Affine.from_terms(const, terms)
         return form
 
     def make_ref(self, ref: ArrayRef, stmt_id: int, is_write: bool) -> _CRef:

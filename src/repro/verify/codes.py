@@ -264,6 +264,16 @@ data regrouping (§3) would interleave the arrays so one memory stream
 fetches them together.""",
 )
 _register(
+    "S401", Severity.WARNING,
+    "nest falls back to the interpreter (codegen cannot vectorize it)",
+    """The codegen trace backend cannot lower this loop nest to
+vectorized numpy kernels — an un-inlined call, a non-affine subscript,
+or a fractional stride keeps it outside the supported subset.  The
+nest still runs (and traces) correctly through the interpreter, just an
+order of magnitude slower; flagged so the silent fallback is visible
+before a large measurement is launched.""",
+)
+_register(
     "S310", Severity.WARNING,
     "pass increased a symbolic reuse-distance bound",
     """Cross-checking static profiles before and after a pass found a

@@ -1,0 +1,113 @@
+"""The fallback contract: unsupported nests degrade, never diverge.
+
+When the emitter cannot lower a nest, ``trace_program`` must run that
+nest through the interpreter-based generator *in place* — same stream
+order, same trace — and record the fallback in the ``codegen.*``
+metrics so it is observable.  No validated study program currently
+trips the fallback (the tracer covers the interpreter's full supported
+subset), so the mechanism is exercised by forcing the emitter to
+refuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen import CodegenUnsupported, int_affine, trace_program
+from repro.codegen import tracer as tracer_mod
+from repro.interp import trace_program as interp_trace
+from repro.lang import Affine, parse, validate
+from repro.obs import metrics
+
+
+@pytest.fixture
+def stencil():
+    return validate(parse(
+        """
+        program stencil
+        param N
+        real A[N, N], B[N, N]
+        for i = 1, N {
+          for j = 2, N { A[j, i] = f(A[j - 1, i], B[j, i]) }
+        }
+        for i = 2, N { B[i, i] = g(A[i, i]) }
+        """
+    ))
+
+
+def _counters():
+    return metrics.snapshot()["counters"]
+
+
+def test_forced_fallback_is_bit_identical(stencil, monkeypatch):
+    params = {"N": 9}
+    ref = interp_trace(stencil, params, steps=2, with_instr=True)
+
+    def refuse(self, node, frame, p):
+        raise CodegenUnsupported("forced by test")
+
+    monkeypatch.setattr(tracer_mod._Emitter, "emit", refuse)
+    before = _counters()
+    out = trace_program(stencil, params, steps=2, with_instr=True)
+    after = _counters()
+
+    for field in ("array_ids", "elems", "writes", "ref_ids", "instr_ids"):
+        assert np.array_equal(getattr(ref, field), getattr(out, field)), field
+
+    key = "codegen.trace.fallback[forced by test]"
+    assert after.get("codegen.trace.nests.fallback", 0) - before.get(
+        "codegen.trace.nests.fallback", 0
+    ) == 2
+    assert after.get(key, 0) - before.get(key, 0) == 1  # one per distinct reason
+
+
+def test_clean_trace_records_compiled_nests(stencil):
+    before = _counters()
+    trace_program(stencil, {"N": 9})
+    after = _counters()
+    assert after["codegen.trace.nests"] - before.get("codegen.trace.nests", 0) == 2
+    assert (
+        after["codegen.trace.nests.compiled"]
+        - before.get("codegen.trace.nests.compiled", 0)
+        == 2
+    )
+    assert after.get("codegen.trace.nests.fallback", 0) == before.get(
+        "codegen.trace.nests.fallback", 0
+    )
+
+
+def test_partial_fallback_preserves_stream_order(stencil, monkeypatch):
+    # refuse only the second top-level nest: the vector prefix and the
+    # interpreted suffix must interleave exactly as the oracle does
+    params = {"N": 8}
+    ref = interp_trace(stencil, params, steps=2)
+    original = tracer_mod._Emitter.emit
+    calls = []
+
+    def refuse_second(self, node, frame, p):
+        calls.append(node)
+        if len(calls) == 2:
+            raise CodegenUnsupported("second nest refused")
+        return original(self, node, frame, p)
+
+    monkeypatch.setattr(tracer_mod._Emitter, "emit", refuse_second)
+    out = trace_program(stencil, params, steps=2)
+    assert np.array_equal(ref.elems, out.elems)
+    assert np.array_equal(ref.array_ids, out.array_ids)
+    assert np.array_equal(ref.writes, out.writes)
+
+
+def test_int_affine_folds_params():
+    form = Affine.from_terms(1, {"N": 2, "i": 1})
+    const, coeffs = int_affine(form, {"N": 10})
+    assert const == 21
+    assert coeffs == (("i", 1),)
+
+
+def test_int_affine_rejects_fractional():
+    from fractions import Fraction
+
+    form = Affine.from_terms(0, {"i": Fraction(1, 2)})
+    with pytest.raises(CodegenUnsupported):
+        int_affine(form, {})

@@ -1,0 +1,132 @@
+"""The structural codegen plan, its pass, and the S401 fallback lint."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.plan import lint_codegen, plan_program
+from repro.lang import parse, validate
+
+
+def build(source):
+    return validate(parse(source))
+
+
+def test_clean_program_fully_traceable():
+    plan = plan_program(build(
+        """
+        program ok
+        param N
+        real A[N], B[N]
+        for i = 1, N { A[i] = f(B[i]) }
+        B[1] = 0.0
+        """
+    ))
+    assert plan.fully_traceable
+    assert plan.summary() == "2/2 nests traceable"
+    assert [n.kind for n in plan.nests] == ["loop", "assign"]
+    assert plan.nests[0].index == "i"
+
+
+def test_uninlined_call_flagged():
+    plan = plan_program(build(
+        """
+        program calls
+        param N
+        real A[N]
+        proc init(lo) { A[lo] = 0.0 }
+        for i = 1, N { A[i] = f(A[i]) }
+        call init(1)
+        """
+    ))
+    assert not plan.fully_traceable
+    [nest] = plan.fallback_nests
+    assert nest.kind == "call"
+    assert "not inlined" in nest.reason
+
+
+def test_fractional_stride_flagged():
+    plan = plan_program(build(
+        """
+        program frac
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [2] { A[i / 2] = 1.0 }
+        }
+        """
+    ))
+    [nest] = plan.fallback_nests
+    assert "fractional subscript stride" in nest.reason
+
+
+def test_lint_inlines_before_judging():
+    # the harness inlines procedures before tracing, so a program whose
+    # only calls are inlinable must NOT be flagged
+    program = build(
+        """
+        program calls
+        param N
+        real A[N]
+        proc init(lo) { A[lo] = 0.0 }
+        for i = 1, N { A[i] = f(A[i]) }
+        call init(1)
+        """
+    )
+    assert not list(lint_codegen(program))
+    diags = list(lint_codegen(program, inline=False))
+    assert [d.code for d in diags] == ["S401"]
+
+
+def test_s401_on_structural_fallback():
+    program = build(
+        """
+        program frac
+        param N
+        real A[N]
+        for i = 1, N {
+          when i in [2] { A[i / 2] = 1.0 }
+        }
+        """
+    )
+    diags = list(lint_codegen(program))
+    assert [d.code for d in diags] == ["S401"]
+    assert "fractional subscript stride" in diags[0].message
+
+
+def test_s401_registered():
+    from repro.verify.codes import get_code
+    from repro.verify.diagnostics import Severity
+
+    info = get_code("S401")
+    assert info.severity == Severity.WARNING
+    assert info.family == "S"
+
+
+@pytest.mark.parametrize("app", ["adi", "swim", "tomcatv", "sp", "sweep3d"])
+def test_bundled_apps_emit_no_s401(app):
+    from repro.programs import registry
+
+    program = validate(registry.get(app).build())
+    assert not list(lint_codegen(program)), (
+        f"{app} unexpectedly falls back to the interpreter"
+    )
+
+
+def test_codegen_plan_pass_deposits_plan():
+    from repro.core import compile_pipeline
+
+    program = build(
+        """
+        program ok
+        param N
+        real A[N]
+        for i = 1, N { A[i] = f(A[i]) }
+        """
+    )
+    variant = compile_pipeline(program, ["codegen-plan"])
+    assert variant.stages["codegen"] == {
+        "nests": 1,
+        "fallback_nests": 0,
+        "summary": "1/1 nests traceable",
+    }

@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint static-lint smoke benchmarks bench-codegen
+.PHONY: check lint test self-lint static-lint parallelism-lint smoke benchmarks bench-codegen
 
-check: lint test self-lint static-lint smoke
+check: lint test self-lint static-lint parallelism-lint smoke
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -29,6 +29,11 @@ self-lint:
 # --write-baseline lint-baseline.json` when a change is intentional)
 static-lint:
 	$(PYTHON) -m repro lint --static --all-apps --baseline lint-baseline.json
+
+# parallelism gate: every loop axis of every registered program must get
+# a definitive DOALL / reduction / serial verdict (no unknowns)
+parallelism-lint:
+	$(PYTHON) -m repro parallelism --all-apps --check
 
 # pass-manager smoke: the pipeline registry enumerates, lints clean, and a
 # custom --passes pipeline compiles and simulates end to end

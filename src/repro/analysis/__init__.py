@@ -29,6 +29,7 @@ from .manager import (
     ANALYSIS_KINDS,
     AnalysisManager,
     analysis_scope,
+    cached_parallelism,
     cached_static_reuse,
     current_analysis_manager,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "AlignmentResult",
     "AnalysisManager",
     "analysis_scope",
+    "cached_parallelism",
     "cached_static_reuse",
     "current_analysis_manager",
     "Conflict",

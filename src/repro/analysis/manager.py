@@ -51,6 +51,7 @@ ANALYSIS_KINDS = (
     "alignment",  # compute_alignment(acc1, acc2, assume)
     "access_patterns",  # regrouping's analyze_access_patterns(program)
     "static_reuse",  # static.analyze_program(program, steps, assume)
+    "parallelism",  # static.analyze_parallelism(program, params)
 )
 
 
@@ -245,6 +246,28 @@ def cached_static_reuse(program, steps: int = 1, assume=None):
         (id(program), steps, assume),
         (program,),
         lambda: analyze_program(program, steps=steps, assume=assume),
+    )
+
+
+def cached_parallelism(program, params=None):
+    """Memoized parallelism profile (``static.analyze_parallelism``).
+
+    Keyed by program identity plus the concrete parameter binding; like
+    the reuse profile, the verdicts depend on nothing but the immutable
+    IR, so identity keying is sound and per-pass invalidation follows
+    the pass's ``preserves`` declaration.
+    """
+    from ..static.parallelism import analyze_parallelism, bind_params
+
+    am = _ACTIVE.get()
+    if am is None:
+        return analyze_parallelism(program, params)
+    param_key = tuple(sorted(bind_params(program, params).items()))
+    return am.get(
+        "parallelism",
+        (id(program), param_key),
+        (program,),
+        lambda: analyze_parallelism(program, params),
     )
 
 

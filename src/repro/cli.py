@@ -22,11 +22,15 @@ Subcommands:
 * ``cache``          — inspect or clear the on-disk trace/result cache;
 * ``lint``           — static IR verification of a program (structure,
   loop bounds, subscript bounds, def-use hygiene); ``--static`` adds the
-  predictive S3xx locality lints, ``--explain CODE`` documents any
-  diagnostic code;
+  predictive S3xx locality lints and the R5xx parallelism/race lints,
+  ``--explain CODE`` documents any diagnostic code;
 * ``static-reuse``   — the symbolic (trace-free) reuse profile of a
   program: per-reference distance polynomials, predicted histogram and
   evadable classes at any input size;
+* ``parallelism``    — dependence-based parallelism analysis: classify
+  every loop axis DOALL / reduction / serial (with a concrete race
+  witness for serial axes); ``--threads T`` adds the per-thread
+  private-cache + shared-cache reuse prediction;
 * ``verify-pass``    — certify that every pass of an optimization level
   preserves the program's dependence structure.
 
@@ -45,6 +49,9 @@ Examples::
     python -m repro lint --explain S301
     python -m repro static-reuse adi -p N=256
     python -m repro static-reuse adi --level fusion --json
+    python -m repro parallelism adi --level fusion
+    python -m repro parallelism --all-apps --check
+    python -m repro parallelism swim --threads 4 --schedule dynamic
     python -m repro verify-pass adi --level new
     python -m repro verify-pass --before a.loop --after b.loop
 """
@@ -83,7 +90,10 @@ from .harness import (
 from .lang import Program, ReproError, parse, to_source, validate
 from .memsim import ENGINES
 from .obs import (
+    REGISTRY,
     SCHEMA_VERSION,
+    MetricsRegistry,
+    SpanCollector,
     TraceConfig,
     format_metric_delta,
     format_span_tree,
@@ -189,6 +199,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         title = f"{program.name} ({args.target})"
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results), title=title))
+    if args.parallelism:
+        print()
+        print(_parallelism_table(program, results, args.threads))
     if args.timings:
         print()
         print(
@@ -199,6 +212,43 @@ def cmd_report(args: argparse.Namespace) -> int:
             )
         )
     return 0
+
+
+def _parallelism_table(program, results, threads: int) -> str:
+    """Per-level axis verdicts + predicted multicore misses for a report."""
+    from .static import analyze_parallelism, predict_program_multicore
+
+    target = program if isinstance(program, str) else program.name
+    l1, l2 = _cache_elems(target)
+    steps = _lint_steps(target)
+    headers = (
+        "level", "doall", "reduction", "serial", "par nests",
+        f"L1p misses ({l1})", f"L2s misses ({l2})",
+    )
+    rows: list[list[object]] = []
+    for r in results:
+        if r.variant is None:
+            continue
+        prof = analyze_parallelism(r.variant.program, r.params)
+        pred = predict_program_multicore(
+            r.variant.program, dict(prof.params), threads=threads, steps=steps
+        )
+        counts = prof.counts()
+        outer = sum(1 for v in prof.verdicts if v.depth == 0)
+        rows.append([
+            r.level,
+            counts["doall"],
+            counts["reduction"],
+            counts["serial"],
+            f"{len(prof.parallel_nests())}/{outer}",
+            f"{pred.private_miss_count(l1):.0f}",
+            f"{pred.shared_miss_count(l2):.0f}",
+        ])
+    return format_table(
+        headers, rows,
+        title=f"parallelism & multicore prediction "
+        f"({threads} threads, static schedule)",
+    )
 
 
 def cmd_bench_engine(args: argparse.Namespace) -> int:
@@ -380,6 +430,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
     )
     result = outcome.results[0]
+    _profile_parallelism(result)
     if args.json:
         events = [sp.to_event() for sp in result.spans]
         for event in events:
@@ -414,6 +465,30 @@ def cmd_profile(args: argparse.Namespace) -> int:
         f"\ntotal {result.seconds:.3f}s | trace {result.trace_length:,} accesses"
     )
     return 0
+
+
+def _profile_parallelism(result) -> None:
+    """Fold one parallelism-analysis pass into a profile result.
+
+    Runs the static parallelism analyzer over the compiled variant in
+    its own span/metrics window and merges the ``parallelism`` span and
+    the ``analysis.parallelism.*`` counters into the run's profile, so
+    ``repro profile`` shows the analyzer next to compile/trace/simulate.
+    """
+    from .static import analyze_parallelism
+
+    if result.variant is None:
+        return
+    before = REGISTRY.snapshot()
+    collector = SpanCollector()
+    with collector:
+        analyze_parallelism(result.variant.program, dict(result.params))
+    delta = MetricsRegistry.delta(before, REGISTRY.snapshot())
+    counters = result.metrics.setdefault("counters", {})
+    for key, value in delta.get("counters", {}).items():
+        counters[key] = counters.get(key, 0) + value
+    result.metrics.setdefault("gauges", {}).update(delta.get("gauges", {}))
+    result.spans = list(result.spans) + collector.events
 
 
 def _analysis_cache_summary(delta) -> str:
@@ -548,6 +623,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if args.static:
             from .codegen.plan import lint_codegen
             from .static import lint_static
+            from .verify import lint_races
 
             bag.extend(
                 lint_static(
@@ -555,6 +631,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 )
             )
             bag.extend(lint_codegen(program))
+            bag.extend(lint_races(program))
         bags[program.name] = bag
 
     if args.write_baseline:
@@ -653,6 +730,85 @@ def cmd_static_reuse(args: argparse.Namespace) -> int:
             f"trace events generated: {traced:g}"
         )
     return 0 if traced == 0 else 1
+
+
+def _cache_elems(target: str) -> tuple[int, int]:
+    """L1/L2 capacities in 8-byte elements: the registry entry's scaled
+    machine for an app, the default spec for a file."""
+    try:
+        spec = registry.get(target).machine_spec
+    except KeyError:
+        spec = MachineSpec()
+    return spec.l1_bytes // 8, spec.l2_bytes // 8
+
+
+def cmd_parallelism(args: argparse.Namespace) -> int:
+    """Classify every loop axis; optionally predict multicore misses."""
+    from .static import analyze_parallelism, predict_program_multicore
+
+    if args.all_apps:
+        from .programs import STUDY_PROGRAMS
+
+        targets = sorted(set(APPLICATIONS) | set(STUDY_PROGRAMS))
+    elif args.target:
+        targets = [args.target]
+    else:
+        raise SystemExit(
+            "parallelism needs a program (file or app name) or --all-apps"
+        )
+
+    params = _parse_params(args.param) or None
+    payloads: list[dict] = []
+    unknown = 0
+    for target in targets:
+        program = _load_target(target)
+        if args.level:
+            program = compile_variant(program, args.level).program
+        profile = analyze_parallelism(program, params)
+        unknown += profile.counts()["unknown"]
+        pred = None
+        if args.threads:
+            steps = args.steps if args.steps is not None else _lint_steps(target)
+            pred = predict_program_multicore(
+                program,
+                dict(profile.params),
+                threads=args.threads,
+                schedule=args.schedule,
+                steps=steps,
+            )
+        if args.json:
+            entry: dict[str, object] = {"parallelism": profile.as_dict()}
+            if pred is not None:
+                entry["multicore"] = pred.as_dict()
+            payloads.append(entry)
+            continue
+        size = ", ".join(f"{k}={v}" for k, v in profile.params)
+        counts = profile.counts()
+        summary = ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+        print(
+            f"parallelism {profile.program_name} at {size}: "
+            f"{summary or 'no loops'}"
+        )
+        for v in profile.verdicts:
+            print(f"  {v.describe()}")
+        if pred is not None:
+            l1, l2 = _cache_elems(target)
+            print(pred.render(l1, l2))
+        if target != targets[-1]:
+            print()
+
+    if args.json:
+        if len(payloads) == 1:
+            print(json.dumps(payloads[0], indent=2))
+        else:
+            print(json.dumps(payloads, indent=2))
+    if args.check and unknown:
+        print(
+            f"parallelism --check: {unknown} axis verdict(s) are 'unknown'",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def cmd_verify_pass(args: argparse.Namespace) -> int:
@@ -838,6 +994,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--timings", action="store_true", help="print per-stage wall-clock table"
     )
+    report.add_argument(
+        "--parallelism", action="store_true",
+        help="append per-level axis verdicts and the predicted multicore "
+        "miss table (private L1 per thread, shared L2)",
+    )
+    report.add_argument(
+        "--threads", type=int, default=4,
+        help="thread count for the --parallelism prediction (default 4)",
+    )
     report.set_defaults(fn=cmd_report)
 
     profile = sub.add_parser(
@@ -961,6 +1126,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the profile (and predicted histogram) as JSON",
     )
     static.set_defaults(fn=cmd_static_reuse)
+
+    par = sub.add_parser(
+        "parallelism",
+        help="dependence-based DOALL/reduction/serial verdict per loop axis",
+        parents=[params_args],
+    )
+    par.add_argument(
+        "target", nargs="?", help="registry app name or source file"
+    )
+    par.add_argument(
+        "--all-apps", action="store_true",
+        help="analyze every bundled application instead of one target",
+    )
+    par.add_argument(
+        "--level", default=None,
+        help="optimization level to apply before analysis (default: none)",
+    )
+    par.add_argument(
+        "--threads", type=int, default=None, metavar="T",
+        help="also predict per-thread private + shared cache reuse at T threads",
+    )
+    par.add_argument(
+        "--schedule", choices=("static", "dynamic"), default="static",
+        help="iteration schedule assumed by the multicore prediction",
+    )
+    par.add_argument("--json", action="store_true", help="JSON output")
+    par.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any axis verdict is 'unknown' (CI gate)",
+    )
+    par.set_defaults(fn=cmd_parallelism)
 
     verify = sub.add_parser(
         "verify-pass",

@@ -22,15 +22,17 @@ Legality is decided by :func:`plan_execution`: a conservative
 cross-lane dependence test over every pair of same-array references
 (at least one a write) in the candidate loop's subtree, using folded
 integer-affine subscripts, value ranges of the surrounding loop
-variables, and a gcd feasibility refinement.  Any doubt means the loop
-is *not* vectorized — the fallback is the oracle itself, so the result
-is still exact, just slower; ``codegen.exec.*`` metrics record which.
+variables, and a gcd feasibility refinement — the shared
+:func:`repro.static.dependence_test.lane_conflict` test, which the
+static parallelism analyzer solves exactly for race witnesses.  Any
+doubt means the loop is *not* vectorized — the fallback is the oracle
+itself, so the result is still exact, just slower; ``codegen.exec.*``
+metrics record which.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import gcd
 from typing import Mapping, Optional
 
 import numpy as np
@@ -59,14 +61,11 @@ from ..lang import (
     ValidationError,
 )
 from ..obs import metrics
+from ..static.dependence_test import lane_conflict
 from .lowering import CodegenUnsupported, int_affine
 
 #: builtins whose numpy evaluation is bit-identical to the math module
 _VECTOR_BUILTINS = frozenset({"sqrt", "abs"})
-
-#: cap on lane-distance enumeration in the dependence test; beyond this
-#: the test conservatively reports a conflict
-_MAX_DISTANCE_ENUM = 8192
 
 
 @dataclass(frozen=True)
@@ -122,7 +121,6 @@ class _Planner:
         self.compiler = _tg._Compiler(program, params)  # for linform/strides
         self.plan = ExecPlan()
         self._rejected: set[int] = set()
-        self._axis_lo = 0
 
     def run(self) -> ExecPlan:
         for stmt in self.program.body:
@@ -178,13 +176,15 @@ class _Planner:
         except AnalysisError as exc:
             return str(exc)
         span = rng[1] - rng[0]
-        self._axis_lo = rng[0]
         for refs in info.refs.values():
             for i, (kf, tf, wf) in enumerate(refs):
                 for kg, tg_, wg in refs[i:]:
                     if not (wf or wg):
                         continue
-                    if self._conflict(kf, tf, kg, tg_, axis, span, outer, info):
+                    if lane_conflict(
+                        kf, tf, kg, tg_, axis, span, rng[0],
+                        outer, info.inner_ranges,
+                    ):
                         return f"cross-lane dependence on axis {axis!r}"
         return None
 
@@ -258,82 +258,6 @@ class _Planner:
         info.refs.setdefault(ref.array, []).append(
             (const, dict(terms), is_write)
         )
-
-    # -- dependence test ----------------------------------------------------
-
-    def _conflict(
-        self,
-        kf: int,
-        tf: dict[str, int],
-        kg: int,
-        tg_: dict[str, int],
-        axis: str,
-        span: int,
-        outer: dict[str, tuple[int, int]],
-        info: _SubtreeInfo,
-    ) -> bool:
-        """Can instances on *different* lanes touch the same element?
-
-        Conservative: True means "maybe" (fall back), False is a proof.
-        """
-        c_f = tf.get(axis, 0)
-        c_g = tg_.get(axis, 0)
-        base = kf - kg
-        terms: list[tuple[int, int, int]] = []  # (coeff, lo, hi)
-
-        def add(coeff: int, name: str, inner: bool) -> bool:
-            rng = info.inner_ranges.get(name) if inner else outer.get(name)
-            if rng is None:
-                return False
-            if coeff:
-                terms.append((coeff, rng[0], rng[1]))
-            return True
-
-        for name in set(tf) | set(tg_):
-            if name == axis:
-                continue
-            cf, cg = tf.get(name, 0), tg_.get(name, 0)
-            if name in info.inner_ranges:
-                # independent instances: two separate copies
-                if not (add(cf, name, True) and add(-cg, name, True)):
-                    return True
-            elif name in outer:
-                if not add(cf - cg, name, False):
-                    return True
-            else:
-                return True  # unknown variable: assume conflict
-
-        if c_f != c_g:
-            # different axis coefficients: treat both lane values as free
-            terms.append((c_f, 0, span))
-            terms.append((-c_g, 0, span))
-            base += (c_f - c_g) * self._axis_lo
-            return self._attainable(0, base, terms)
-
-        if c_f == 0:
-            return self._attainable(0, base, terms)
-        if span > _MAX_DISTANCE_ENUM:
-            return True
-        for d in range(-span, span + 1):
-            if d and self._attainable(-c_f * d, base, terms):
-                return True
-        return False
-
-    @staticmethod
-    def _attainable(target: int, base: int, terms) -> bool:
-        """May ``base + sum(c_k * t_k)`` equal ``target``? (necessary tests)"""
-        lo = hi = base
-        g = 0
-        for coeff, vlo, vhi in terms:
-            lo += min(coeff * vlo, coeff * vhi)
-            hi += max(coeff * vlo, coeff * vhi)
-            g = gcd(g, abs(coeff))
-        if not lo <= target <= hi:
-            return False
-        if g == 0:
-            return target == base
-        return (target - base) % g == 0
-
 
 def plan_execution(program: Program, params: Mapping[str, int]) -> ExecPlan:
     """Choose a vectorization axis per loop nest of ``program``.

@@ -1,0 +1,206 @@
+"""Interleaved multi-thread trace generation (OpenMP-style execution).
+
+The dynamic counterpart of ``repro.static.multicore``: execute a program
+the way a ``T``-thread OpenMP runtime would — every top-level nest whose
+outermost axis is parallel (DOALL or reduction per the static
+parallelism analyzer) is block-partitioned over its outer range, each
+thread traces its own chunk, and the per-chunk streams are merged
+round-robin ``block`` accesses at a time.  Serial nests run entirely on
+thread 0.  An implicit barrier separates consecutive nests (and steps),
+exactly like OpenMP's parallel-for join.
+
+Two views come out of a run:
+
+``merged``
+    the interleaved access stream every thread sees — feed it to
+    :func:`~repro.locality.reuse_distances` to model a *shared* cache;
+``per_thread``
+    each thread's own stream (its chunks plus, for thread 0, the serial
+    nests) — the *private*-cache view.
+
+Scheduling: ``static`` gives chunk ``t`` to thread ``t`` on every
+invocation (affinity preserved, so cross-nest reuse stays on-thread);
+``dynamic`` rotates the assignment by one on each parallel nest
+invocation — a deterministic stand-in for a work-stealing runtime that
+destroys chunk affinity without destroying the partition.
+
+Tracing a nest per (step, thread) re-uses the ordinary
+:func:`trace_program` machinery on a single-statement program; all array
+declarations are kept, so ``global_keys`` agree across every segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..lang import Loop, Program
+from ..obs import metrics, span
+from .tracegen import trace_program
+
+
+@dataclass(frozen=True)
+class InterleavedRun:
+    """The access streams of one simulated multi-thread execution."""
+
+    program_name: str
+    threads: int
+    schedule: str
+    block: int
+    parallel_nests: tuple[int, ...]
+    merged: np.ndarray  # int64 global keys, round-robin interleaved
+    per_thread: tuple[np.ndarray, ...]  # each thread's private stream
+
+    @property
+    def total(self) -> int:
+        return int(self.merged.size)
+
+
+def round_robin(
+    streams: Sequence[np.ndarray], block: int = 1
+) -> np.ndarray:
+    """Merge streams round-robin, ``block`` elements per turn.
+
+    Streams of unequal length simply drop out as they drain (threads
+    with smaller chunks finish early and wait at the barrier).
+    """
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    live = [np.asarray(s, dtype=np.int64) for s in streams if len(s)]
+    if not live:
+        return np.empty(0, dtype=np.int64)
+    if len(live) == 1:
+        return live[0]
+    out = np.empty(sum(len(s) for s in live), dtype=np.int64)
+    pos = [0] * len(live)
+    filled = 0
+    while filled < out.size:
+        for k, s in enumerate(live):
+            p = pos[k]
+            if p >= len(s):
+                continue
+            q = min(p + block, len(s))
+            out[filled : filled + (q - p)] = s[p:q]
+            filled += q - p
+            pos[k] = q
+    return out
+
+
+def _chunks(lo: int, hi: int, threads: int) -> list[tuple[int, int]]:
+    """OpenMP static block partition of the inclusive range [lo, hi]."""
+    n = hi - lo + 1
+    if n <= 0:
+        return []
+    size = -(-n // threads)  # ceil
+    out = []
+    for t in range(threads):
+        a = lo + t * size
+        b = min(hi, a + size - 1)
+        if a <= b:
+            out.append((a, b))
+    return out
+
+
+def interleave_trace(
+    program: Program,
+    params: Mapping[str, int],
+    threads: int,
+    steps: int = 1,
+    schedule: str = "static",
+    block: int = 1,
+    parallel_nests: Optional[Sequence[int]] = None,
+) -> InterleavedRun:
+    """Simulate a ``threads``-way OpenMP-style execution of ``program``.
+
+    ``parallel_nests`` names the top-level statement positions to
+    partition; by default the static parallelism analyzer decides
+    (every nest whose outermost axis is DOALL or a reduction).
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if schedule not in ("static", "dynamic"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if parallel_nests is None:
+        # lazy: repro.static never imports the interpreter, so this
+        # direction is the acyclic one — but keep it out of module scope
+        from ..static.parallelism import analyze_parallelism
+
+        parallel_nests = analyze_parallelism(
+            program, params
+        ).parallel_nests()
+    parallel = frozenset(parallel_nests)
+
+    with span(
+        "interleave-trace",
+        program=program.name,
+        threads=threads,
+        schedule=schedule,
+    ):
+        merged: list[np.ndarray] = []
+        private: list[list[np.ndarray]] = [[] for _ in range(threads)]
+        invocation = 0
+        for _ in range(steps):
+            for k, stmt in enumerate(program.body):
+                if (
+                    threads > 1
+                    and k in parallel
+                    and isinstance(stmt, Loop)
+                ):
+                    keys = _parallel_nest_keys(
+                        program, stmt, params, threads, schedule, invocation
+                    )
+                    invocation += 1
+                    for t, stream in enumerate(keys):
+                        if len(stream):
+                            private[t].append(stream)
+                    merged.append(round_robin(keys, block))
+                else:
+                    keys = trace_program(
+                        program.with_body((stmt,)), params
+                    ).global_keys()
+                    if len(keys):
+                        private[0].append(keys)
+                        merged.append(keys)
+        merged_keys = (
+            np.concatenate(merged) if merged else np.empty(0, np.int64)
+        )
+        per_thread = tuple(
+            np.concatenate(p) if p else np.empty(0, np.int64)
+            for p in private
+        )
+        metrics.inc("trace.interleaved_runs")
+        metrics.inc("trace.interleaved_accesses", int(merged_keys.size))
+        return InterleavedRun(
+            program_name=program.name,
+            threads=threads,
+            schedule=schedule,
+            block=block,
+            parallel_nests=tuple(sorted(parallel)),
+            merged=merged_keys,
+            per_thread=per_thread,
+        )
+
+
+def _parallel_nest_keys(
+    program: Program,
+    loop: Loop,
+    params: Mapping[str, int],
+    threads: int,
+    schedule: str,
+    invocation: int,
+) -> list[np.ndarray]:
+    """Per-thread key streams of one partitioned parallel nest."""
+    env = dict(params)
+    lo = int(loop.lower.affine().evaluate(env))
+    hi = int(loop.upper.affine().evaluate(env))
+    chunks = _chunks(lo, hi, threads)
+    streams = [np.empty(0, dtype=np.int64) for _ in range(threads)]
+    for c, (a, b) in enumerate(chunks):
+        t = (c + invocation) % threads if schedule == "dynamic" else c
+        sub = replace(loop, lower=a, upper=b)
+        streams[t] = trace_program(
+            program.with_body((sub,)), params
+        ).global_keys()
+    return streams

@@ -11,29 +11,52 @@ Layering: depends on ``lang``, ``locality`` (result types only), ``obs``
 and ``verify`` (diagnostics); nothing here imports the interpreter.
 """
 
+from .dependence_test import attainable, lane_conflict, solve_sum
 from .lints import lint_profile, lint_static
 from .model import LoopCtx, StaticModel, StaticRef, build_model
+from .multicore import (
+    MulticorePrediction,
+    predict_multicore,
+    predict_program_multicore,
+)
+from .parallelism import (
+    AxisVerdict,
+    ParallelismProfile,
+    RaceWitness,
+    analyze_parallelism,
+    bind_params,
+)
 from .poly import Poly
 from .profile import EvaluatedClass, StaticProfile, analyze_program
 from .regions import Hull, footprint_by_array, ref_hull, union_hulls
 from .reuse import ClassProfile, Component, attribute_model, solve_delta
 
 __all__ = [
+    "AxisVerdict",
     "ClassProfile",
     "Component",
     "EvaluatedClass",
     "Hull",
     "LoopCtx",
+    "MulticorePrediction",
+    "ParallelismProfile",
     "Poly",
+    "RaceWitness",
     "StaticModel",
     "StaticProfile",
     "StaticRef",
+    "analyze_parallelism",
     "analyze_program",
+    "attainable",
     "attribute_model",
+    "bind_params",
     "build_model",
     "footprint_by_array",
+    "lane_conflict",
     "lint_profile",
     "lint_static",
+    "predict_multicore",
+    "predict_program_multicore",
     "ref_hull",
     "solve_delta",
     "union_hulls",

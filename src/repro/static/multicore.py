@@ -1,0 +1,382 @@
+"""Per-thread shared-cache prediction (the OpenMP reuse-distance model).
+
+Given a single-thread symbolic reuse profile and a parallelism profile,
+predict what a ``T``-thread execution does to every reuse distance —
+following the scaling recipe of *Modeling Shared Cache Performance of
+OpenMP Programs using Reuse Distance* (PAPERS.md): each top-level nest
+whose outermost axis is parallel (DOALL or reduction) is block-partitioned
+across threads, and every reuse component transforms by kind:
+
+======================  ========================  ====================
+component kind          private (per-thread L1)   shared (merged L2)
+======================  ========================  ====================
+intra/carried/sibling   ``d`` (within a chunk)    ``T * d`` (T streams
+                                                  interleave between
+                                                  the two touches)
+cross_nest/cross_step   partition-aligned under   ``d`` (all threads
+                        static scheduling:        together still
+                        ``d / T`` (a thread       traverse the full
+                        re-traverses only its     data between the two
+                        own chunk); otherwise     touches)
+                        the footprint horizon —
+                        the producing touch ran
+                        on another core, so the
+                        reuse misses in any
+                        realistic private cache
+======================  ========================  ====================
+
+Two nests are *partition-aligned* for a reuse pair when both are
+parallel, their outer loops run over the same range, and the two
+references' subscripts depend on their respective outermost variables
+with the same coefficients — then the block partition hands the same
+elements to the same thread and cross-nest reuse stays on-core.  A
+column sweep following a row sweep (adi's signature pattern) fails the
+test: the reused elements live on a different core, so the private
+view pushes those reuses out to the footprint horizon.  Dynamic
+scheduling destroys chunk affinity for *every* cross-nest/cross-step
+reuse.
+
+Axes classified serial run on one thread, so their distances are
+unchanged in both views; access totals are conserved exactly in both.
+The prediction is cross-validated against a real round-robin
+interleaved simulation by ``repro.interp.interleave`` (tests pin totals
+exact and mean log distance within the PR 5 tolerance bands).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..lang import Affine, Program
+from ..locality.histogram import ReuseHistogram
+from ..obs import metrics, span
+from .model import StaticRef
+from .parallelism import ParallelismProfile, analyze_parallelism
+from .profile import StaticProfile, _multiplier, analyze_program
+
+SCHEDULES = ("static", "dynamic")
+
+#: component kinds whose reuse stays inside one thread's chunk
+_CHUNK_LOCAL = ("intra", "carried", "sibling")
+
+
+@dataclass(frozen=True)
+class MulticorePrediction:
+    """Predicted multi-thread locality of one program at one size."""
+
+    program_name: str
+    params: tuple[tuple[str, int], ...]
+    threads: int
+    schedule: str
+    parallel_nests: tuple[int, ...]
+    serial_nests: tuple[int, ...]
+    #: (count, distance) pairs for the per-thread private view
+    private_pairs: tuple[tuple[float, float], ...]
+    #: (count, distance) pairs for the interleaved shared view
+    shared_pairs: tuple[tuple[float, float], ...]
+    #: compulsory misses of the private view (first touches; a thread's
+    #: genuinely-first touch of data another core produced shows up in
+    #: a dynamic run as extra cold, which the model keeps as a
+    #: footprint-horizon reuse instead — same miss, different label)
+    private_cold: float
+    #: compulsory misses of the shared view (true first touches)
+    shared_cold: float
+
+    @property
+    def total(self) -> float:
+        return self.shared_cold + sum(c for c, _ in self.shared_pairs)
+
+    @staticmethod
+    def _histogram(
+        pairs: tuple[tuple[float, float], ...], cold: float
+    ) -> ReuseHistogram:
+        bins: dict[int, float] = {}
+        for count, dist in pairs:
+            d = int(round(dist))
+            b = 0 if d <= 0 else int(math.floor(math.log2(d))) + 1
+            bins[b] = bins.get(b, 0.0) + count
+        n = max(bins) + 1 if bins else 1
+        counts = np.zeros(n, dtype=np.int64)
+        for b, c in bins.items():
+            counts[b] = int(round(c))
+        return ReuseHistogram(counts, int(round(cold)))
+
+    def private_histogram(self) -> ReuseHistogram:
+        """Predicted histogram of the union of per-thread private streams.
+
+        Counts are program totals (every access lands in exactly one
+        thread's private stream), so the histogram is directly
+        comparable to the per-thread dynamic streams combined.
+        """
+        return self._histogram(self.private_pairs, self.private_cold)
+
+    def shared_histogram(self) -> ReuseHistogram:
+        """Predicted histogram of the round-robin interleaved stream."""
+        return self._histogram(self.shared_pairs, self.shared_cold)
+
+    def private_miss_count(self, capacity_elems: int) -> float:
+        """Predicted total private-cache misses across all threads."""
+        return self.private_cold + sum(
+            c for c, d in self.private_pairs if d >= capacity_elems
+        )
+
+    def shared_miss_count(self, capacity_elems: int) -> float:
+        """Predicted misses of the shared cache under the merged stream."""
+        return self.shared_cold + sum(
+            c for c, d in self.shared_pairs if d >= capacity_elems
+        )
+
+    def render(
+        self, l1_elems: Optional[int] = None, l2_elems: Optional[int] = None
+    ) -> str:
+        size = ", ".join(f"{k}={v}" for k, v in self.params)
+        lines = [
+            f"multicore prediction: {self.program_name} at {size} — "
+            f"{self.threads} threads, {self.schedule} schedule",
+            f"  parallel nests: "
+            f"{', '.join(map(str, self.parallel_nests)) or '(none)'}"
+            f"; serial nests: "
+            f"{', '.join(map(str, self.serial_nests)) or '(none)'}",
+            f"  accesses: {self.total:.0f} "
+            f"(cold: {self.shared_cold:.0f} shared, "
+            f"{self.private_cold:.0f} private)",
+        ]
+        if l1_elems is not None:
+            lines.append(
+                f"  private L1 ({l1_elems} elems): "
+                f"{self.private_miss_count(l1_elems):.0f} misses"
+            )
+        if l2_elems is not None:
+            lines.append(
+                f"  shared L2 ({l2_elems} elems): "
+                f"{self.shared_miss_count(l2_elems):.0f} misses"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program_name,
+            "params": dict(self.params),
+            "threads": self.threads,
+            "schedule": self.schedule,
+            "parallel_nests": list(self.parallel_nests),
+            "serial_nests": list(self.serial_nests),
+            "total": self.total,
+            "private_cold": self.private_cold,
+            "shared_cold": self.shared_cold,
+            "private_mld": self.private_histogram().mean_log_distance(),
+            "shared_mld": self.shared_histogram().mean_log_distance(),
+        }
+
+
+def _coeff(form: Affine, name: str) -> Fraction:
+    for n, c in form.coeffs:
+        if n == name:
+            return Fraction(c)
+    return Fraction(0)
+
+
+#: chunk-boundary slack: outer ranges shifted by at most this many
+#: iterations (boundary guards, peeled first/last rows) still hand
+#: almost every element to the same thread
+_BOUNDS_SLACK = 2
+
+
+def _linear_outer_coeff(
+    ref: StaticRef, strides: Mapping[str, tuple[int, ...]]
+) -> Fraction:
+    """Coefficient of the ref's outermost loop var in its linearized
+    (column-major) element index — how fast the touched element moves
+    per outer iteration."""
+    outer = ref.scope[0].index
+    total = Fraction(0)
+    for k, sub in enumerate(ref.subs):
+        total += _coeff(sub, outer) * strides[ref.array][k]
+    return total
+
+
+def _partition_aligned(
+    src: StaticRef,
+    dst: StaticRef,
+    parallel: frozenset[int],
+    env: Mapping[str, int],
+    strides: Mapping[str, tuple[int, ...]],
+) -> bool:
+    """Does the block partition keep this reuse pair on one thread?
+
+    True when the source's nest is also parallel, both outer loops run
+    over (almost) the same concrete range, and the linearized element
+    index depends on the two outermost variables with the same
+    coefficient — then chunk ``t`` of the source touches essentially
+    the elements chunk ``t`` of the destination re-touches.  A column
+    sweep after a row sweep fails the coefficient test; ranges shifted
+    by boundary guards (``1..N`` vs ``2..N-1``) pass the slack test.
+    """
+    if src.nest != dst.nest and src.nest not in parallel:
+        return False
+    if not src.scope or not dst.scope:
+        return False
+    so, do = src.scope[0], dst.scope[0]
+    if (
+        abs(so.lo.evaluate(env) - do.lo.evaluate(env)) > _BOUNDS_SLACK
+        or abs(so.hi.evaluate(env) - do.hi.evaluate(env)) > _BOUNDS_SLACK
+    ):
+        return False
+    return _linear_outer_coeff(src, strides) == _linear_outer_coeff(
+        dst, strides
+    )
+
+
+def predict_multicore(
+    profile: StaticProfile,
+    parallelism: ParallelismProfile,
+    params: Mapping[str, int],
+    threads: int = 4,
+    schedule: str = "static",
+) -> MulticorePrediction:
+    """Scale ``profile``'s reuse distances for a ``threads``-way run.
+
+    Replays :meth:`StaticProfile.evaluate_class`'s count clamping, but
+    keeps each component's *kind* so its distance can be transformed by
+    the table in the module docstring.  Nests whose outermost axis is
+    serial keep their single-thread distances.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"schedule must be one of {SCHEDULES}, got {schedule!r}"
+        )
+    env = dict(params)
+    cap = float(profile.footprint.evaluate(env))
+    refs = profile.model.refs
+    strides: dict[str, tuple[int, ...]] = {}
+    for name, decl in profile.model.arrays.items():
+        acc, ss = 1, []
+        for extent in decl.shape(env):  # column-major, first fastest
+            ss.append(acc)
+            acc *= extent
+        strides[name] = tuple(ss)
+    parallel = frozenset(parallelism.parallel_nests())
+    serial = tuple(
+        sorted(
+            {v.nest for v in parallelism.verdicts if v.depth == 0}
+            - parallel
+        )
+    )
+
+    def clamp(value: float) -> float:
+        if value < 0:
+            return 0.0
+        if cap > 0 and value > cap - 1:
+            return cap - 1
+        return value
+
+    # one thread's share of a full pass over the data: serial nests are
+    # traversed whole, parallel nests at 1/T — so any cross-nest gap
+    # shrinks to this fraction of its single-thread volume
+    total_accesses = float(profile.model.total_accesses().evaluate(env))
+    par_accesses = sum(
+        float(r.exec_count().evaluate(env))
+        for r in refs
+        if r.nest in parallel
+    )
+    p_frac = par_accesses / total_accesses if total_accesses > 0 else 0.0
+    traversal = (1.0 - p_frac) + p_frac / threads
+
+    private: list[tuple[float, float]] = []
+    shared: list[tuple[float, float]] = []
+    cold_shared = 0.0
+    cold_private = 0.0
+    for cp in profile.classes:
+        total = float(cp.ref.exec_count().evaluate(env)) * profile.steps
+        remaining = max(total, 0.0)
+        has_wrap = any(c.kind == "cross_step" for c in cp.components)
+        is_par = threads > 1 and cp.ref.nest in parallel
+        for comp in cp.components:
+            count = float(comp.count.evaluate(env)) * _multiplier(
+                comp.kind, profile.steps
+            )
+            count = min(max(count, 0.0), remaining)
+            if count <= 0:
+                continue
+            remaining -= count
+            dist = clamp(float(comp.distance.evaluate(env)))
+            if threads == 1:
+                shared.append((count, dist))
+                private.append((count, dist))
+                continue
+            if comp.kind in _CHUNK_LOCAL:
+                if is_par:
+                    shared.append((count, clamp(dist * threads)))
+                else:
+                    shared.append((count, dist))
+                private.append((count, dist))
+                continue
+            # cross_nest / cross_step: globally the full data still
+            # passes between the touches (shared distance unchanged);
+            # privately the gap shrinks to one thread's traversal share
+            shared.append((count, dist))
+            src = refs[comp.source] if comp.source is not None else cp.ref
+            if is_par and not (
+                schedule == "static"
+                and _partition_aligned(src, cp.ref, parallel, env, strides)
+            ):
+                # the producing touch ran on another core.  On the first
+                # pass over the data the consumer thread has never seen
+                # the element — a compulsory miss (1/steps of the
+                # count); on later passes it reuses its own touch from
+                # the previous cycle, a whole per-thread traversal ago —
+                # the footprint horizon, missing in any realistic
+                # private cache
+                cold_private += count / profile.steps
+                carried = count * (profile.steps - 1) / profile.steps
+                if carried > 0:
+                    private.append((carried, clamp(cap / threads)))
+            else:
+                private.append((count, dist * traversal))
+        cold = remaining if has_wrap or profile.steps == 1 else min(
+            remaining, float(cp.cold.evaluate(env)) * profile.steps
+        )
+        cold_shared += max(cold, 0.0)
+        cold_private += max(cold, 0.0)
+    return MulticorePrediction(
+        program_name=profile.model.program.name,
+        params=tuple(sorted(env.items())),
+        threads=threads,
+        schedule=schedule,
+        parallel_nests=tuple(sorted(parallel)),
+        serial_nests=serial,
+        private_pairs=tuple(private),
+        shared_pairs=tuple(shared),
+        private_cold=cold_private,
+        shared_cold=cold_shared,
+    )
+
+
+def predict_program_multicore(
+    program: Program,
+    params: Mapping[str, int],
+    threads: int = 4,
+    schedule: str = "static",
+    steps: int = 1,
+) -> MulticorePrediction:
+    """One-call wrapper: analyze reuse + parallelism, then predict."""
+    with span(
+        "multicore-predict",
+        program=program.name,
+        threads=threads,
+        schedule=schedule,
+    ):
+        profile = analyze_program(program, steps=steps)
+        parallelism = analyze_parallelism(program, params)
+        pred = predict_multicore(
+            profile, parallelism, params, threads, schedule
+        )
+        metrics.inc("analysis.parallelism.multicore_predictions")
+        return pred

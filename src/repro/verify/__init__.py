@@ -35,6 +35,11 @@ from .legality import (
     check_legality,
     verify_pass,
 )
+from .races import (
+    doall_preservation_check,
+    lint_parallelism,
+    lint_races,
+)
 from .reuse_check import array_distance_bounds, reuse_bound_check
 from .snapshot import (
     DEFAULT_VERIFY_PARAM,
@@ -65,12 +70,15 @@ __all__ = [
     "all_codes",
     "array_distance_bounds",
     "check_legality",
+    "doall_preservation_check",
     "explain_code",
     "format_cell",
     "format_code_table",
     "get_code",
     "is_scalar_cell",
+    "lint_parallelism",
     "lint_program",
+    "lint_races",
     "reuse_bound_check",
     "scalar_cell",
     "snapshot_program",

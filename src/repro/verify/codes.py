@@ -38,6 +38,7 @@ FAMILIES: dict[str, str] = {
     "V": "IR verification (structure, ranges, def-use)",
     "L": "pass legality (dependences) and registry contracts",
     "S": "static reuse analysis (predictive locality lints)",
+    "R": "parallelism analysis (races, DOALL certification)",
 }
 
 REGISTRY: dict[str, CodeInfo] = {}
@@ -66,14 +67,25 @@ def all_codes() -> tuple[CodeInfo, ...]:
 
 
 def format_code_table() -> str:
-    """The one table of every code, grouped by family."""
+    """The one table of every code, grouped by two-character prefix.
+
+    Prefix groups (``S3xx`` vs ``S4xx``) separate sub-families that a
+    flat family listing used to run together.
+    """
+    by_prefix: dict[str, list[CodeInfo]] = {}
+    for info in all_codes():
+        by_prefix.setdefault(info.code[:2], []).append(info)
     lines: list[str] = []
+    last_family = ""
     for fam in sorted(FAMILIES):
-        lines.append(f"{fam}xxx — {FAMILIES[fam]}:")
-        for info in all_codes():
-            if info.family == fam:
+        for prefix in sorted(p for p in by_prefix if p[0] == fam):
+            if fam != last_family:
+                lines.append(f"{fam}xxx — {FAMILIES[fam]}:")
+                last_family = fam
+            lines.append(f"  {prefix}xx:")
+            for info in by_prefix[prefix]:
                 lines.append(
-                    f"  {info.code}  [{info.severity}] {info.summary}"
+                    f"    {info.code}  [{info.severity}] {info.summary}"
                 )
     return "\n".join(lines)
 
@@ -280,4 +292,56 @@ _register(
 reuse class whose symbolic distance bound grew.  Legal but contrary to
 the optimization's purpose; flagged so a regressing pipeline stage is
 visible without running a trace.""",
+)
+
+# -- R: parallelism analysis --------------------------------------------------
+
+_register(
+    "R501", Severity.WARNING,
+    "loop axis carries a data race (serial)",
+    """The dependence-based parallelism analyzer proves two distinct
+iterations of this loop axis touch the same array element with at least
+one write, so the axis cannot run as a parallel (DOALL) loop.
+
+The diagnostic carries a concrete witness pair in the format
+
+    axis=a vs axis=b: <kind> on ARR[elem e] — ref_a @(env_a) / ref_b @(env_b)
+
+where ``kind`` is write/write, write/read, or read/write, ``e`` is the
+linearized column-major element both references touch, and the two
+``env`` bindings give every loop variable of the colliding iteration
+pair (equal on loops enclosing the axis, different on the axis itself).
+Witnesses from exhaustive small-size checking are exact; witnesses
+found over the rectangular hull of a triangular/guarded nest are marked
+'(hull approximation)'.""",
+)
+_register(
+    "R502", Severity.WARNING,
+    "scalar dependence serializes a loop axis",
+    """A scalar is written in one iteration of the axis and read (or
+rewritten) in another, serializing the axis.  Unlike an array race this
+is usually *privatizable*: if each iteration writes the scalar before
+reading it, giving every thread its own copy restores a DOALL axis.
+The witness-pair format matches R501 with the scalar shown in place of
+an array element.""",
+)
+_register(
+    "R503", Severity.INFO,
+    "loop axis is a reduction",
+    """Every cross-iteration conflict on this axis comes from
+accumulation statements (``A[s] = A[s] op e`` or ``s = s op e`` with
+``op`` associative), so the axis parallelizes with a privatized
+accumulator and a combine step — reported as informational, not as a
+race.""",
+)
+_register(
+    "R510", Severity.WARNING,
+    "pass destroyed a parallel (DOALL) outer axis",
+    """Comparing parallelism profiles before and after a pass shows a
+top-level nest whose outermost axis was DOALL (or a reduction) before
+the pass but is serial after it — typically loop fusion merging an
+independent nest with one that carries a dependence (paper §2.3 trades
+exactly this: fusion contracts reuse distance but may serialize the
+fused loop).  Legal, but the lost parallelism is reported with the race
+witness of the destroying dependence.""",
 )

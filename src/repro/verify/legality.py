@@ -315,10 +315,12 @@ class PassVerifier:
         params: Optional[Mapping[str, int]] = None,
         steps: int = 1,
         reuse_bounds: bool = False,
+        doall: bool = False,
     ) -> None:
         self.params = params
         self.steps = steps
         self.reuse_bounds = reuse_bounds
+        self.doall = doall
         self.baseline = snapshot_program(program, params, steps)
         self._baseline_program = program
         self.history: list[tuple[str, DiagnosticBag]] = []
@@ -335,7 +337,9 @@ class PassVerifier:
         dependence; the exception's ``bag`` carries the diagnostics.
         With ``reuse_bounds=True`` the static S310 check also compares
         symbolic reuse-distance bounds across the pass (warnings only —
-        a locality regression is suspicious, not illegal).
+        a locality regression is suspicious, not illegal).  With
+        ``doall=True`` the R510 check compares parallelism profiles and
+        warns when the pass serialized a parallel outermost axis.
         """
         if strict is None:
             strict = pass_name not in RELAXED_PASSES
@@ -349,6 +353,14 @@ class PassVerifier:
             bag.extend(
                 reuse_bound_check(
                     self._baseline_program, program, pass_name, self.steps
+                )
+            )
+        if self.doall:
+            from .races import doall_preservation_check
+
+            bag.extend(
+                doall_preservation_check(
+                    self._baseline_program, program, pass_name, self.params
                 )
             )
         self.history.append((pass_name, bag))

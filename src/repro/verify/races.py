@@ -1,0 +1,170 @@
+"""Race reports and DOALL certification (the ``R5xx`` family).
+
+The static parallelism analyzer classifies every loop axis as DOALL,
+reduction, or serial; this module turns those verdicts into
+diagnostics:
+
+``R501 array-race``
+    a serial axis whose witness is an array-element conflict — the
+    concrete iteration pair is embedded in the message;
+``R502 scalar-dependence``
+    a serial axis serialized by a scalar (usually privatizable);
+``R503 reduction``
+    an informational marker for axes that parallelize with a privatized
+    accumulator;
+``R510 doall-destroyed``
+    a pass comparison: a top-level nest's outermost axis was parallel
+    before the pass and serial after it (the §2.3 fusion trade-off).
+
+All codes flow through the shared :class:`DiagnosticBag`, so they
+render, serialize, and baseline exactly like the ``V``/``L``/``S``
+families.  The parallelism analyzer is imported lazily inside each
+function (mirroring ``reuse_check``) to keep the verify <-> static
+layering acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from ..lang import Program
+from .diagnostics import DiagnosticBag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
+    from ..static.parallelism import AxisVerdict, ParallelismProfile
+
+#: per-code cap on individual diagnostics before summarizing
+MAX_PER_CODE = 5
+
+
+def _is_scalar_race(verdict: "AxisVerdict") -> bool:
+    from ..static.parallelism import SCALAR_PREFIX
+
+    w = verdict.witness
+    return w is not None and w.array.startswith(SCALAR_PREFIX)
+
+
+def lint_parallelism(profile: "ParallelismProfile") -> DiagnosticBag:
+    """Emit the R50x family for an already-computed parallelism profile."""
+    bag = DiagnosticBag()
+    name = profile.program_name
+
+    array_races = []
+    scalar_races = []
+    for v in profile.races:
+        (scalar_races if _is_scalar_race(v) else array_races).append(v)
+
+    def emit_races(code: str, races: list["AxisVerdict"], noun: str) -> None:
+        for v in races[:MAX_PER_CODE]:
+            where = f"{name}: nest {v.nest} loop {'.'.join(v.path)}"
+            detail = (
+                v.witness.describe() if v.witness is not None else v.reason
+            )
+            bag.warning(
+                code,
+                f"axis {v.index!r} is serial ({noun}): {detail}",
+                where=where,
+                nest=v.nest,
+                axis=v.index,
+                depth=v.depth,
+                exact=v.exact,
+            )
+        if len(races) > MAX_PER_CODE:
+            bag.info(
+                code,
+                f"{len(races) - MAX_PER_CODE} more serial axes with a "
+                f"{noun} ({len(races)} total)",
+                where=name,
+            )
+
+    emit_races("R501", array_races, "array race")
+    emit_races("R502", scalar_races, "scalar dependence")
+
+    reductions = list(profile.by_verdict("reduction"))
+    for v in reductions[:MAX_PER_CODE]:
+        targets = ", ".join(v.reduction_targets) or "accumulator"
+        bag.info(
+            "R503",
+            f"axis {v.index!r} is a reduction over {targets}; parallelize "
+            "with a privatized accumulator and a combine step",
+            where=f"{name}: nest {v.nest} loop {'.'.join(v.path)}",
+            nest=v.nest,
+            axis=v.index,
+            targets=targets,
+        )
+    if len(reductions) > MAX_PER_CODE:
+        bag.info(
+            "R503",
+            f"{len(reductions) - MAX_PER_CODE} more reduction axes "
+            f"({len(reductions)} total)",
+            where=name,
+        )
+    return bag
+
+
+def lint_races(
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+) -> DiagnosticBag:
+    """Analyze ``program``'s parallelism and return its R50x diagnostics."""
+    from ..static.parallelism import analyze_parallelism
+
+    return lint_parallelism(analyze_parallelism(program, params))
+
+
+def doall_preservation_check(
+    before: Program,
+    after: Program,
+    pass_name: str = "",
+    params: Optional[Mapping[str, int]] = None,
+) -> DiagnosticBag:
+    """Did a pass destroy a parallel (DOALL/reduction) outermost axis?
+
+    Compares the parallelism profiles of ``before`` and ``after`` and
+    emits ``R510`` when the count of top-level nests with a parallel
+    outermost axis dropped — each newly-serial outermost axis in the
+    transformed program is reported with its race witness.  Warnings
+    only: serializing a loop is legal (fusion trades parallelism for
+    reuse distance, paper §2.3), just worth surfacing.
+    """
+    from ..static.parallelism import analyze_parallelism
+
+    bag = DiagnosticBag()
+    p_before = analyze_parallelism(before, params)
+    p_after = analyze_parallelism(after, params)
+    n_before = len(p_before.parallel_nests())
+    n_after = len(p_after.parallel_nests())
+    if n_after >= n_before:
+        return bag
+
+    label = f"pass {pass_name!r}" if pass_name else "the pass"
+    newly_serial = [
+        v
+        for v in p_after.verdicts
+        if v.depth == 0 and v.verdict == "serial"
+    ]
+    for v in newly_serial[:MAX_PER_CODE]:
+        detail = v.witness.describe() if v.witness is not None else v.reason
+        bag.warning(
+            "R510",
+            f"{label} left only {n_after} of {n_before} parallel outer "
+            f"axes; nest {v.nest} axis {v.index!r} is now serial: {detail}",
+            where=f"{after.name}: nest {v.nest} loop {'.'.join(v.path)}",
+            pass_name=pass_name,
+            nest=v.nest,
+            axis=v.index,
+            parallel_before=n_before,
+            parallel_after=n_after,
+        )
+    if not newly_serial:
+        # parallel nests disappeared structurally (e.g. fused away)
+        bag.warning(
+            "R510",
+            f"{label} reduced parallel top-level nests from {n_before} "
+            f"to {n_after}",
+            where=after.name,
+            pass_name=pass_name,
+            parallel_before=n_before,
+            parallel_after=n_after,
+        )
+    return bag

@@ -1,0 +1,90 @@
+"""Pinned vectorization decisions across every program x level variant.
+
+The executor's dependence test moved from a private ``_Planner._conflict``
+into the shared :mod:`repro.static.dependence_test` (also used by the
+parallelism analyzer for race witnesses).  This suite pins every
+:func:`plan_execution` decision — per-loop vectorized/fallback verdict
+plus the fallback reason — for all 42 golden (program, level) variants,
+so any future change to the shared test that would alter a codegen
+decision shows up as a bit-level diff.
+
+Run ``python tests/codegen/test_exec_plan_golden.py`` to regenerate the
+golden file from the current implementation.  Do that only for an
+intentional behavior change, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "integration"))
+
+from golden_pipelines import (  # noqa: E402
+    GOLDEN_LEVELS,
+    GOLDEN_PARAMS,
+    build_golden_program,
+    reset_fusion_uids,
+)
+
+GOLDEN_FILE = Path(__file__).parent / "golden_exec_plans.json"
+
+VARIANTS = [
+    (name, level)
+    for name in sorted(GOLDEN_PARAMS)
+    for level in GOLDEN_LEVELS
+]
+
+
+def plan_lines(name: str, level: str) -> list[str]:
+    """The exec plan of one variant as deterministic text lines."""
+    from repro.codegen.executor import plan_execution
+    from repro.core import compile_variant
+
+    program = build_golden_program(name)
+    reset_fusion_uids()
+    variant = compile_variant(program, level)
+    plan = plan_execution(variant.program, GOLDEN_PARAMS[name])
+    lines = []
+    for d in plan.decisions:
+        tag = "vectorized" if d.vectorized else f"fallback: {d.reason}"
+        lines.append(f"{d.index}: {tag}")
+    return lines
+
+
+@pytest.mark.parametrize("name,level", VARIANTS, ids=[f"{n}-{lv}" for n, lv in VARIANTS])
+def test_exec_plan_matches_golden(name: str, level: str) -> None:
+    golden = json.loads(GOLDEN_FILE.read_text())
+    key = f"{name}/{level}"
+    assert key in golden, (
+        f"no golden exec plan for {key}; regenerate with "
+        f"'python {Path(__file__).relative_to(Path.cwd())}'"
+    )
+    assert plan_lines(name, level) == golden[key], (
+        f"vectorization decisions changed for {key} — if intentional, "
+        f"regenerate the golden file"
+    )
+
+
+def test_golden_file_has_no_stale_entries() -> None:
+    golden = json.loads(GOLDEN_FILE.read_text())
+    expected = {f"{n}/{lv}" for n, lv in VARIANTS}
+    assert set(golden) == expected
+
+
+def main() -> int:
+    payload = {
+        f"{name}/{level}": plan_lines(name, level)
+        for name, level in VARIANTS
+    }
+    GOLDEN_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_FILE}: {len(payload)} variants")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    raise SystemExit(main())

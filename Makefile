@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint static-lint parallelism-lint smoke benchmarks bench-codegen
+.PHONY: check lint test self-lint static-lint parallelism-lint smoke tune-check benchmarks bench-codegen bench-tune
 
-check: lint test self-lint static-lint parallelism-lint smoke
+check: lint test self-lint static-lint parallelism-lint smoke tune-check
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -42,6 +42,14 @@ smoke:
 	$(PYTHON) -m repro pipeline --lint
 	$(PYTHON) -m repro report adi --passes inline,simplify -p N=16 --steps 1
 
+# autotuner regression gate: the committed BENCH_tune.json best pipelines
+# must never predict more misses than any named level, and every
+# prediction cheap enough to recompute (<= 30s committed analysis cost)
+# must reproduce under the current analyzer.  Expensive entries (sp's
+# fused pipelines) stay frozen; refresh them with `make bench-tune`.
+tune-check:
+	$(PYTHON) -m repro tune --check --baseline BENCH_tune.json
+
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -49,3 +57,10 @@ benchmarks:
 # the traces are not bit-identical.  Refreshes BENCH_codegen.json.
 bench-codegen:
 	$(PYTHON) -m repro bench-codegen --json-out BENCH_codegen.json
+
+# refresh the committed autotuning artifact: full grid for the cheap
+# programs, reduced grid for sp (its fused symbolic analysis runs for
+# minutes; the named levels still bound the search there)
+bench-tune:
+	$(PYTHON) -m repro tune adi sweep3d fft tomcatv swim --json-out BENCH_tune.json
+	$(PYTHON) -m repro tune sp --enablers "" --fusion-levels 0,1 --json-out BENCH_tune.json

@@ -32,7 +32,13 @@ Subcommands:
   witness for serial axes); ``--threads T`` adds the per-thread
   private-cache + shared-cache reuse prediction;
 * ``verify-pass``    — certify that every pass of an optimization level
-  preserves the program's dependence structure.
+  preserves the program's dependence structure;
+* ``pipeline``       — introspect the pass-pipeline registry (``--json``
+  emits the machine-readable pipeline-description schema);
+* ``tune``           — static-profile-driven pipeline autotuning: rank
+  legal candidate pipelines by predicted misses, dynamically validate
+  the top-k frontier, and gate the committed ``BENCH_tune.json``
+  artifact with ``--check``.
 
 Examples::
 
@@ -54,6 +60,10 @@ Examples::
     python -m repro parallelism swim --threads 4 --schedule dynamic
     python -m repro verify-pass adi --level new
     python -m repro verify-pass --before a.loop --after b.loop
+    python -m repro pipeline --json
+    python -m repro tune tomcatv --top-k 3
+    python -m repro tune --all-apps --json-out BENCH_tune.json
+    python -m repro tune --check --baseline BENCH_tune.json
 """
 
 from __future__ import annotations
@@ -103,6 +113,7 @@ from .obs import (
 )
 from .programs import APPLICATIONS, registry
 from .programs.registry import MachineSpec
+from .tune import ENABLERS as TUNE_ENABLERS
 from .verify import PassLegalityError, PassVerifier, Severity, lint_program, verify_pass
 
 
@@ -891,7 +902,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
     info = cache.info()
     print(
         f"{cache.root}/: {info['traces']} traces, {info['results']} results, "
-        f"{info['bytes'] / 1e6:.1f} MB"
+        f"{info['tune']} tune scores, {info['bytes'] / 1e6:.1f} MB"
     )
     return 0
 
@@ -909,6 +920,14 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         bag = lint_passes()
         print(bag.render())
         return 1 if bag.has_errors() or (args.strict and bag.warnings) else 0
+    if args.json:
+        from .core.pm import registry_to_json, spec_to_json
+
+        if args.describe:
+            print(json.dumps(spec_to_json(resolve_pipeline(args.describe)), indent=2))
+        else:
+            print(json.dumps(registry_to_json(), indent=2))
+        return 0
     if args.describe:
         spec = resolve_pipeline(args.describe)
         print(describe_pipeline(spec))
@@ -918,6 +937,131 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"  {name:16s} {spec.description}")
         print(f"  {'':16s}   {passes}")
     return 0
+
+
+def _parse_size(text: str) -> dict[str, int]:
+    """One ``--at N=161,steps...`` binding: comma-separated NAME=INT pairs."""
+    out: dict[str, int] = {}
+    for piece in text.split(","):
+        name, _, value = piece.partition("=")
+        if not value:
+            raise SystemExit(f"bad size {text!r}; expected NAME=INT[,NAME=INT...]")
+        out[name.strip()] = int(value)
+    return out
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Autotune pass pipelines per program by statically predicted misses."""
+    from .tune import TuneRequest, check_baseline, tune
+
+    cache = args.cache_dir if args.cache_dir else (None if args.no_cache else True)
+    if args.check:
+        if not args.baseline:
+            raise SystemExit("tune --check requires --baseline FILE")
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures = check_baseline(
+            baseline, budget_seconds=args.budget, cache=cache
+        )
+        if failures:
+            print("tune --check: predicted-miss regressions detected:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        n = len(baseline.get("programs", {}))
+        print(
+            f"tune --check ok: {n} program(s), tuned pipelines predict no "
+            f"more misses than any named level (budget {args.budget:.0f}s)"
+        )
+        return 0
+
+    if args.all_apps:
+        targets = sorted(APPLICATIONS) + [t for t in args.target if t not in APPLICATIONS]
+    elif args.target:
+        targets = list(args.target)
+    else:
+        raise SystemExit("tune needs one or more app names, or --all-apps, or --check")
+
+    sizes = None
+    explicit = [_parse_size(t) for t in args.at or ()]
+    base = _parse_params(args.param)
+    if base or explicit:
+        sizes = ([base] if base else []) + explicit
+
+    payload: dict[str, object] = {}
+    exit_code = 0
+    for target in targets:
+        request = TuneRequest(
+            program=target,
+            sizes=sizes,
+            steps=args.steps,
+            objective=args.objective,
+            threads=args.threads,
+            schedule=args.schedule,
+            enablers=tuple(args.enablers.split(",")) if args.enablers else (),
+            fusion_levels=tuple(
+                int(v) for v in args.fusion_levels.split(",")
+            ),
+            regroup=not args.no_regroup,
+            max_candidates=args.max_candidates,
+            top_k=args.top_k,
+            validate_top=not args.no_validate,
+            engine=args.engine,
+            cache=cache,
+            verify=not args.no_verify,
+            trace=TraceConfig(events=True, runs_root=args.runs_root)
+            if args.events
+            else None,
+        )
+        result = tune(request)
+        entry = result.to_json()
+        entry["target"] = target
+        payload[result.program] = entry
+        if not args.json:
+            print(result.table())
+            best = result.best
+            verdict = (
+                "STRICT WIN over every named level"
+                if result.strict_win
+                else "a grid candidate ties the best named level"
+                if best.kind == "candidate"
+                else "a named level is already optimal in this grid"
+            )
+            print(
+                f"best: {best.signature} -> {best.score:.0f} predicted misses "
+                f"({verdict}; {len(result.candidates)} candidates, "
+                f"{result.seconds:.1f}s)"
+            )
+            if result.rank_agreement is not None:
+                print(
+                    f"dynamic validation (top {len(result.validated)}): "
+                    f"static ranking "
+                    f"{'confirmed' if result.rank_agreement else 'NOT confirmed'}"
+                )
+                if not result.rank_agreement:
+                    exit_code = 1
+            if target != targets[-1]:
+                print()
+    if args.json:
+        print(json.dumps({"programs": payload}, indent=2))
+    if args.json_out:
+        out_path = Path(args.json_out)
+        existing: dict[str, object] = {}
+        if out_path.exists():
+            existing = json.loads(out_path.read_text()).get("programs", {})
+        existing.update(payload)
+        out_path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "static-profile pipeline autotuning",
+                    "objective": args.objective,
+                    "programs": dict(sorted(existing.items())),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.json_out} ({len(existing)} program(s))")
+    return exit_code
 
 
 def cmd_apps(_args: argparse.Namespace) -> int:
@@ -942,7 +1086,9 @@ def build_parser() -> argparse.ArgumentParser:
     params_args = argparse.ArgumentParser(add_help=False)
     params_args.add_argument(
         "-p", "--param", "--params", dest="param", action="append",
-        metavar="NAME=INT", help="program parameter (repeatable)",
+        metavar="NAME=INT",
+        help="one program-parameter binding per flag (repeat for more, "
+        "e.g. -p N=161 -p steps=5)",
     )
     params_args.add_argument(
         "--steps", type=int, default=None,
@@ -968,8 +1114,9 @@ def build_parser() -> argparse.ArgumentParser:
     passes_args = argparse.ArgumentParser(add_help=False)
     passes_args.add_argument(
         "--passes", default=None, metavar="P1,P2,...",
-        help="compile through this comma-separated pass list instead of a level "
-        "(see 'repro pipeline --list' for registered passes)",
+        help="compile through this comma-separated pass list instead of a "
+        "level ('repro pipeline --json' lists every registered pass with "
+        "its metadata)",
     )
 
     fuse = sub.add_parser("fuse", help="transform a mini-language source file")
@@ -1196,7 +1343,108 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--strict", action="store_true", help="lint warnings also fail (exit 1)"
     )
+    pipeline.add_argument(
+        "--json", action="store_true",
+        help="machine-readable registry dump: every pass (with metadata) "
+        "and every pipeline in the shared pipeline-description schema "
+        "(with --describe NAME: just that pipeline)",
+    )
     pipeline.set_defaults(fn=cmd_pipeline)
+
+    tune = sub.add_parser(
+        "tune",
+        help="autotune pass pipelines by statically predicted misses",
+        parents=[params_args, engine_args],
+    )
+    tune.add_argument(
+        "target", nargs="*",
+        help="registry app names or source files ('fft' resolves to the "
+        "bundled FFT at -p n=SIZE, default 64)",
+    )
+    tune.add_argument(
+        "--all-apps", action="store_true",
+        help="tune every bundled application (plus any extra targets given)",
+    )
+    tune.add_argument(
+        "--at", action="append", metavar="NAME=INT[,NAME=INT...]",
+        help="extra target size to score at (repeatable; -p sizes come first)",
+    )
+    tune.add_argument(
+        "--objective", choices=("misses", "parallel-misses"), default="misses",
+        help="ranking objective: single-core L1+L2 predicted misses, or the "
+        "multicore prediction (private L1 per thread + shared L2)",
+    )
+    tune.add_argument(
+        "--threads", type=int, default=4,
+        help="thread count for --objective parallel-misses (default 4)",
+    )
+    tune.add_argument(
+        "--schedule", choices=("static", "dynamic"), default="static",
+        help="iteration schedule assumed by the multicore objective",
+    )
+    tune.add_argument(
+        "--enablers", default=",".join(TUNE_ENABLERS), metavar="P1,P2,...",
+        help="enabler passes the search may toggle (default: "
+        f"{','.join(TUNE_ENABLERS)}; pass '' to disable all)",
+    )
+    tune.add_argument(
+        "--fusion-levels", default="0,1,2,4,8", metavar="K1,K2,...",
+        help="fusion max_levels values to try; 0 means no fusion",
+    )
+    tune.add_argument(
+        "--no-regroup", action="store_true",
+        help="do not try the terminal regroup pass",
+    )
+    tune.add_argument(
+        "--max-candidates", type=int, default=None, metavar="N",
+        help="cap the candidate grid (cheapest pipelines first)",
+    )
+    tune.add_argument(
+        "--top-k", type=int, default=3,
+        help="dynamically validate this many best candidates (default 3)",
+    )
+    tune.add_argument(
+        "--no-validate", action="store_true",
+        help="skip dynamic validation of the top-k frontier",
+    )
+    tune.add_argument(
+        "--no-verify", action="store_true",
+        help="skip legality certification of candidate pipelines",
+    )
+    tune.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed tune/trace cache (on by default)",
+    )
+    tune.add_argument("--cache-dir", default=None, help="cache directory")
+    tune.add_argument(
+        "--events", action="store_true",
+        help="record schema-v1 tune.* events under the runs root",
+    )
+    tune.add_argument(
+        "--runs-root", default=None,
+        help="directory run logs live under (default runs/ or $REPRO_RUNS_DIR)",
+    )
+    tune.add_argument("--json", action="store_true", help="JSON output")
+    tune.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="write/merge the per-program payload (BENCH_tune.json); "
+        "existing entries for other programs are kept",
+    )
+    tune.add_argument(
+        "--check", action="store_true",
+        help="regression-gate a committed --baseline FILE instead of tuning: "
+        "exit 1 if any tuned pipeline predicts more misses than a named "
+        "level (recomputing pipelines cheaper than --budget seconds)",
+    )
+    tune.add_argument(
+        "--baseline", metavar="FILE", help="committed BENCH_tune.json to gate"
+    )
+    tune.add_argument(
+        "--budget", type=float, default=30.0, metavar="SECONDS",
+        help="--check recomputes only pipelines whose committed analysis "
+        "cost is at most this many seconds (default 30)",
+    )
+    tune.set_defaults(fn=cmd_tune)
 
     apps = sub.add_parser("apps", help="list bundled applications")
     apps.set_defaults(fn=cmd_apps)

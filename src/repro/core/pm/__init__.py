@@ -40,7 +40,10 @@ from .pipelines import (
     custom_pipeline,
     describe_pipeline,
     known_levels,
+    registry_to_json,
     resolve_pipeline,
+    spec_from_json,
+    spec_to_json,
 )
 
 
@@ -90,5 +93,8 @@ __all__ = [
     "lint_passes",
     "pass_names",
     "register_pass",
+    "registry_to_json",
     "resolve_pipeline",
+    "spec_from_json",
+    "spec_to_json",
 ]

@@ -201,6 +201,67 @@ def custom_pipeline(
     return spec.validate()
 
 
+def spec_to_json(spec: PipelineSpec) -> dict:
+    """The machine-readable pipeline-description schema.
+
+    One shape shared by ``repro pipeline --json``, the autotuner's
+    ``BENCH_tune.json`` artifact, and any external tool:
+    ``{"name", "description", "steps": [{"name", "options",
+    "checkpoint"?}]}`` with options as a plain object.
+    :func:`spec_from_json` inverts it exactly.
+    """
+    steps = []
+    for step in spec.steps:
+        entry: dict[str, object] = {"name": step.name, "options": dict(step.options)}
+        if step.checkpoint:
+            entry["checkpoint"] = step.checkpoint
+        steps.append(entry)
+    return {"name": spec.name, "description": spec.description, "steps": steps}
+
+
+def spec_from_json(payload: dict) -> PipelineSpec:
+    """Rebuild a :class:`PipelineSpec` from :func:`spec_to_json` output."""
+    try:
+        steps = tuple(
+            PassStep(
+                s["name"],
+                tuple(sorted(dict(s.get("options", {})).items())),
+                s.get("checkpoint"),
+            )
+            for s in payload["steps"]
+        )
+        spec = PipelineSpec(
+            payload["name"], payload.get("description", ""), steps
+        )
+    except (KeyError, TypeError) as exc:
+        raise TransformError(f"malformed pipeline JSON: {exc}") from exc
+    return spec.validate()
+
+
+def registry_to_json() -> dict:
+    """The full introspection payload of ``repro pipeline --json``:
+    every registered pass (with its metadata) and every named pipeline."""
+    from .passes import effective_preserves
+
+    passes = {}
+    for name, p in sorted(PASSES.items()):
+        passes[name] = {
+            "description": p.description,
+            "preserves": sorted(p.preserves) if p.preserves is not None else None,
+            "invalidates": (
+                sorted(p.invalidates) if p.invalidates is not None else None
+            ),
+            "effective_preserves": sorted(effective_preserves(p)),
+            "certify": p.certify,
+            "strict": p.strict,
+        }
+    return {
+        "passes": passes,
+        "pipelines": {name: spec_to_json(s) for name, s in PIPELINES.items()},
+        "opt_levels": list(OPT_LEVELS),
+    }
+
+
 def describe_pipeline(spec: PipelineSpec) -> str:
     """Multi-line human rendering (``repro pipeline --describe``)."""
     from .passes import effective_preserves

@@ -29,10 +29,26 @@ import os
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from .lang import SimulationError
 from .memsim import ENGINES as SIM_ENGINES
-from .memsim import default_engine as default_sim_engine
 
 TRACE_ENGINES = ("codegen", "interp")
+
+
+def default_sim_engine() -> str:
+    """The simulation engine used when a spec names none.
+
+    ``REPRO_ENGINE`` overrides the built-in ``fast`` default.  This is
+    the single parser of that variable — ``memsim.default_engine``
+    delegates here — so the CLI, :class:`~repro.harness.RunRequest`,
+    and the raw simulators all reject an unknown value identically.
+    """
+    engine = os.environ.get("REPRO_ENGINE", "fast")
+    if engine not in SIM_ENGINES:
+        raise SimulationError(
+            f"unknown REPRO_ENGINE {engine!r}; expected one of {SIM_ENGINES}"
+        )
+    return engine
 
 
 def default_trace_engine() -> str:

@@ -1,16 +1,15 @@
 """Experiment drivers and table formatting shared by benchmarks/examples.
 
-New code enters through :func:`run` with a :class:`RunRequest`; the
+Everything enters through :func:`run` with a :class:`RunRequest`.  The
 historical ``measure`` / ``measure_application`` / ``run_application``
-trio remains as deprecated shims over it.
+trio is gone (v2.0); see the README migration table for the
+``RunRequest`` equivalents.
 """
 
 from .cache import TraceCache, default_cache_dir, layout_fingerprint
 from .experiment import (
     VariantResult,
     machine_for,
-    measure,
-    measure_application,
     measure_variant,
     stage_timer,
     trace_for,
@@ -20,7 +19,6 @@ from .parallel import (
     ExperimentSpec,
     ParallelRunner,
     progress_line,
-    run_application,
     run_spec,
 )
 from .run import RunRequest, RunResult, run
@@ -53,15 +51,12 @@ __all__ = [
     "geometric_mean",
     "layout_fingerprint",
     "machine_for",
-    "measure",
-    "measure_application",
     "measure_variant",
     "normalized_rows",
     "progress_line",
     "ratio",
     "growth_factor",
     "run",
-    "run_application",
     "run_spec",
     "scaling_sweep",
     "stage_timer",

@@ -143,25 +143,31 @@ class TraceCache:
     # -- maintenance ---------------------------------------------------
 
     def clear(self) -> int:
-        """Remove every cache entry; returns the number of files removed."""
+        """Remove every cache entry; returns the number of files removed.
+
+        Covers the autotuner's ``tune-*`` score entries too — the tune
+        cache shares this directory (see :class:`repro.tune.TuneCache`).
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
-                if path.name.startswith(("trace-", "result-")):
+                if path.name.startswith(("trace-", "result-", "tune-")):
                     path.unlink()
                     removed += 1
         return removed
 
     def info(self) -> dict[str, int]:
         """Entry counts and on-disk footprint."""
-        traces = results = size = 0
+        traces = results = tune = size = 0
         if self.root.is_dir():
             for path in self.root.iterdir():
                 if path.name.startswith("trace-"):
                     traces += 1
                 elif path.name.startswith("result-"):
                     results += 1
+                elif path.name.startswith("tune-"):
+                    tune += 1
                 else:
                     continue
                 size += path.stat().st_size
-        return {"traces": traces, "results": results, "bytes": size}
+        return {"traces": traces, "results": results, "tune": tune, "bytes": size}

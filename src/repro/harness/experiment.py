@@ -8,14 +8,13 @@ whole path is instrumented with :mod:`repro.obs` spans (compile passes,
 trace-gen, per-cache simulation stages), so a surrounding
 :class:`~repro.obs.SpanCollector` sees the full stage tree.
 
-The historical entry point :func:`measure` survives as a deprecated
-shim over the :func:`repro.harness.run` front door.
+The :func:`repro.harness.run` front door drives this module; the
+historical ``measure`` / ``measure_application`` shims are gone.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Union
@@ -227,82 +226,6 @@ def measure_variant(
         trace, layout, machine, engine=engine, timings=timings
     )
     return _result(stats, len(trace))
-
-
-def measure(
-    program: Program,
-    level: str,
-    params: Mapping[str, int],
-    machine: MachineConfig,
-    steps: int = 1,
-    name: Optional[str] = None,
-    fusion_options: Optional[FusionOptions] = None,
-    regroup_options: Optional[RegroupOptions] = None,
-    engine: Optional[str] = None,
-    cache: Optional[TraceCache] = None,
-    verify: Union[bool, PassVerifier] = False,
-) -> VariantResult:
-    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`)."""
-    warnings.warn(
-        "repro.harness.measure is deprecated; use "
-        "repro.harness.run(RunRequest(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .run import RunRequest, run
-
-    return run(
-        RunRequest(
-            program=program,
-            levels=(level,),
-            params=params,
-            machine=machine,
-            steps=steps,
-            name=name,
-            fusion_options=fusion_options,
-            regroup_options=regroup_options,
-            engine=engine,
-            cache=cache,
-            verify=verify,
-        )
-    ).results[0]
-
-
-def measure_application(
-    app: str,
-    levels: Sequence[str],
-    params: Optional[Mapping[str, int]] = None,
-    steps: Optional[int] = None,
-    machine: Optional[MachineConfig] = None,
-    fusion_options: Optional[FusionOptions] = None,
-    regroup_options: Optional[RegroupOptions] = None,
-    engine: Optional[str] = None,
-    cache: Optional[TraceCache] = None,
-    verify: Union[bool, PassVerifier] = False,
-) -> list[VariantResult]:
-    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`)."""
-    warnings.warn(
-        "repro.harness.measure_application is deprecated; use "
-        "repro.harness.run(RunRequest(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .run import RunRequest, run
-
-    return run(
-        RunRequest(
-            program=app,
-            levels=tuple(levels),
-            params=params,
-            machine=machine,
-            steps=steps,
-            fusion_options=fusion_options,
-            regroup_options=regroup_options,
-            engine=engine,
-            cache=cache,
-            verify=verify,
-        )
-    ).results
 
 
 def trace_for(

@@ -28,7 +28,6 @@ import multiprocessing
 import os
 import sys
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
@@ -227,35 +226,3 @@ class ParallelRunner:
                 )
             )
         return records
-
-
-def run_application(
-    app: str,
-    levels: Sequence[str],
-    jobs: Optional[int] = None,
-    cache_dir: Optional[str] = None,
-    engine: Optional[str] = None,
-    **spec_kwargs,
-) -> list[ExperimentRecord]:
-    """Deprecated: use ``run(RunRequest(...))`` (see :mod:`repro.harness.run`).
-
-    Drop-in shape for the benchmarks' historical loops: one record per
-    level, in the order given.
-    """
-    warnings.warn(
-        "repro.harness.run_application is deprecated; use "
-        "repro.harness.run(RunRequest(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from .run import RunRequest, run
-
-    request = RunRequest(
-        program=app,
-        levels=tuple(levels),
-        engine=engine,
-        cache=cache_dir,
-        jobs=jobs,
-        **spec_kwargs,
-    )
-    return run(request).records()

@@ -1,8 +1,8 @@
 """The experiment front door: ``run(RunRequest) -> RunResult``.
 
 One entry point replaces the historical trio (``measure``,
-``measure_application``, ``run_application``), which survive as
-deprecation shims over it.  A :class:`RunRequest` names *what* to run —
+``measure_application``, ``run_application``), removed in v2.0.  A
+:class:`RunRequest` names *what* to run —
 program (registry name or :class:`~repro.lang.Program`), levels, size,
 machine, option objects — and *how* — engine, cache, verification,
 parallelism, and observability sinks (:class:`~repro.obs.TraceConfig`).

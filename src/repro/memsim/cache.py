@@ -20,7 +20,6 @@ property-test suite pins the equivalence).
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -34,13 +33,15 @@ ENGINES = ("fast", "reference")
 
 
 def default_engine() -> str:
-    """Engine used when none is requested (``REPRO_ENGINE`` overrides)."""
-    engine = os.environ.get("REPRO_ENGINE", "fast")
-    if engine not in ENGINES:
-        raise SimulationError(
-            f"unknown REPRO_ENGINE {engine!r}; expected one of {ENGINES}"
-        )
-    return engine
+    """Engine used when none is requested (``REPRO_ENGINE`` overrides).
+
+    Delegates to :func:`repro.engines.default_sim_engine` — one parser
+    of the environment knob for every layer (imported lazily because
+    ``repro.engines`` imports this package for the engine names).
+    """
+    from ..engines import default_sim_engine
+
+    return default_sim_engine()
 
 
 @dataclass(frozen=True)

@@ -7,10 +7,12 @@ import pytest
 from repro.engines import (
     EngineSelection,
     TRACE_ENGINES,
+    default_sim_engine,
     default_trace_engine,
     engine_spec,
     resolve_engines,
 )
+from repro.lang import SimulationError
 from repro.memsim import ENGINES as SIM_ENGINES
 
 
@@ -63,6 +65,72 @@ def test_env_override(monkeypatch):
     monkeypatch.setenv("REPRO_TRACE_ENGINE", "bogus")
     with pytest.raises(ValueError):
         default_trace_engine()
+
+
+def test_sim_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert default_sim_engine() == "reference"
+    assert resolve_engines(None).sim == "reference"
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(SimulationError, match="REPRO_ENGINE"):
+        default_sim_engine()
+    with pytest.raises(SimulationError, match="REPRO_ENGINE"):
+        resolve_engines(None)
+
+
+def test_memsim_default_engine_delegates(monkeypatch):
+    # one parser of REPRO_ENGINE for every layer
+    from repro.memsim import default_engine
+
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert default_engine() == default_sim_engine() == "reference"
+    monkeypatch.setenv("REPRO_ENGINE", "bogus")
+    with pytest.raises(SimulationError, match="REPRO_ENGINE"):
+        default_engine()
+
+
+@pytest.mark.parametrize(
+    "spec, expected",
+    [
+        (None, ("fast", "codegen")),
+        ("", ("fast", "codegen")),
+        ("fast", ("fast", "codegen")),
+        ("reference", ("reference", "codegen")),
+        ("codegen", ("fast", "codegen")),
+        ("interp", ("fast", "interp")),
+        ("fast+codegen", ("fast", "codegen")),
+        ("fast+interp", ("fast", "interp")),
+        ("reference+codegen", ("reference", "codegen")),
+        ("reference+interp", ("reference", "interp")),
+        ("codegen+fast", ("fast", "codegen")),
+        ("interp+fast", ("fast", "interp")),
+        ("codegen+reference", ("reference", "codegen")),
+        ("interp+reference", ("reference", "interp")),
+        (" fast + interp ", ("fast", "interp")),
+    ],
+)
+def test_every_spelling(spec, expected, monkeypatch):
+    """The full spec grammar: every sim x tracer spelling resolves."""
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_ENGINE", raising=False)
+    sel = resolve_engines(spec)
+    assert (sel.sim, sel.tracer) == expected
+    if spec:
+        assert engine_spec(spec) == spec  # CLI hook round-trips the string
+        assert resolve_engines(sel) == sel  # RunRequest round-trips the object
+
+
+def test_run_request_engine_uses_same_parser():
+    """RunRequest.engine rejects unknown specs with the shared message."""
+    from repro.harness import RunRequest, run
+
+    with pytest.raises(ValueError, match="unknown engine"):
+        run(
+            RunRequest(
+                program="adi", levels=("noopt",), params={"N": 16},
+                steps=1, engine="bogus",
+            )
+        )
 
 
 def test_engine_spec_cli_hook():

@@ -4,13 +4,13 @@ import pytest
 
 from repro.harness import (
     NORMALIZED_HEADERS,
+    RunRequest,
     format_table,
     geometric_mean,
     machine_for,
-    measure,
-    measure_application,
     normalized_rows,
     ratio,
+    run,
     trace_for,
 )
 from repro.lang import parse, validate
@@ -28,7 +28,7 @@ def test_machine_for_name():
     assert machine_for("octane").l2.size_bytes == 1024 * 1024
 
 
-def test_measure_program():
+def test_run_program():
     program = validate(
         parse(
             """
@@ -40,7 +40,12 @@ def test_measure_program():
         )
     )
     machine = machine_for(MachineSpec())
-    result = measure(program, "noopt", {"N": 100}, machine, steps=2)
+    result = run(
+        RunRequest(
+            program=program, levels=("noopt",), params={"N": 100},
+            machine=machine, steps=2,
+        )
+    ).results[0]
     assert result.stats.accesses == 2 * 2 * 100
     assert result.level == "noopt"
     assert result.trace_length == result.stats.accesses
@@ -48,10 +53,10 @@ def test_measure_program():
     assert row["program"] == "t" and row["l2"] >= 0
 
 
-def test_measure_application_small():
-    results = measure_application(
-        "adi", ["noopt", "new"], params={"N": 33}, steps=1
-    )
+def test_run_application_small():
+    results = run(
+        RunRequest(program="adi", levels=("noopt", "new"), params={"N": 33}, steps=1)
+    ).results
     assert [r.level for r in results] == ["noopt", "new"]
     rows = normalized_rows(results)
     assert rows[0][1] == 1.0  # base normalizes to itself
@@ -75,7 +80,9 @@ def test_ratio_and_geomean():
 
 
 def test_compound_level_fusion1_regroup():
-    results = measure_application("adi", ["fusion1+regroup"], params={"N": 33})
+    results = run(
+        RunRequest(program="adi", levels=("fusion1+regroup",), params={"N": 33})
+    ).results
     assert results[0].variant.regroup is not None
     assert results[0].variant.fusion_report is not None
 

@@ -14,11 +14,11 @@ from repro.core import compile_variant
 from repro.harness import (
     ExperimentSpec,
     ParallelRunner,
+    RunRequest,
     TraceCache,
     layout_fingerprint,
     machine_for,
-    measure,
-    run_application,
+    run,
 )
 from repro.lang import validate
 from repro.programs import registry
@@ -56,11 +56,16 @@ class TestParallelRunner:
         warm = ParallelRunner(jobs=3).run(_specs(tmp_path))
         assert [r.stats for r in warm] == [r.stats for r in cold]
 
-    def test_run_application_order_and_engines(self, tmp_path):
-        fast = run_application("adi", ["noopt", "new"], params=SMALL, steps=1)
-        ref = run_application(
-            "adi", ["noopt", "new"], params=SMALL, steps=1, engine="reference"
-        )
+    def test_run_order_and_engines(self, tmp_path):
+        fast = run(
+            RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1)
+        ).records()
+        ref = run(
+            RunRequest(
+                program="adi", levels=("noopt", "new"), params=SMALL, steps=1,
+                engine="reference",
+            )
+        ).records()
         assert [r.level for r in fast] == ["noopt", "new"]
         assert [r.stats for r in fast] == [r.stats for r in ref]
 
@@ -69,15 +74,17 @@ class TestTraceCache:
     def _measure(self, cache, level="noopt", engine=None):
         entry = registry.get("adi")
         program = validate(entry.build())
-        return measure(
-            program,
-            level,
-            SMALL,
-            machine_for(entry.machine_spec),
-            steps=1,
-            cache=cache,
-            engine=engine,
-        )
+        return run(
+            RunRequest(
+                program=program,
+                levels=(level,),
+                params=SMALL,
+                machine=machine_for(entry.machine_spec),
+                steps=1,
+                cache=cache,
+                engine=engine,
+            )
+        ).results[0]
 
     def test_cache_hit_returns_identical_results(self, tmp_path):
         cache = TraceCache(tmp_path)
@@ -143,7 +150,7 @@ class TestTraceCache:
         assert again.stats == cold.stats
         removed = cache.clear()
         assert removed == cache.info()["traces"] + 2  # all entries gone
-        assert cache.info() == {"traces": 0, "results": 0, "bytes": 0}
+        assert cache.info() == {"traces": 0, "results": 0, "tune": 0, "bytes": 0}
 
     def test_roundtrip_arrays(self, tmp_path):
         cache = TraceCache(tmp_path)

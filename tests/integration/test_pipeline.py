@@ -84,14 +84,18 @@ def test_layouts_bijective(app):
 def test_new_reduces_l2_misses_on_adi():
     """The headline claim, at test scale: the combined strategy cuts
     memory traffic on ADI."""
-    from repro.harness import machine_for, measure
+    from repro.harness import RunRequest, machine_for, run
     from repro.programs import registry
 
     entry = registry.get("adi")
     program = validate(entry.build())
     machine = machine_for(entry.machine_spec)
-    base = measure(program, "noopt", {"N": 65}, machine, steps=1)
-    new = measure(program, "new", {"N": 65}, machine, steps=1)
+    base, new = run(
+        RunRequest(
+            program=program, levels=("noopt", "new"), params={"N": 65},
+            machine=machine, steps=1,
+        )
+    ).results
     assert new.stats.l2_misses < base.stats.l2_misses
     assert new.stats.seconds < base.stats.seconds
 

@@ -1,27 +1,23 @@
-"""The run(RunRequest) front door and its deprecation shims.
+"""The run(RunRequest) front door.
 
 Pins the api-redesign contract: the old trio (``measure``,
-``measure_application``, ``run_application``) still works, warns
-``DeprecationWarning`` exactly once per call site, and matches the new
-front door bit-for-bit; ``verify=`` actually reaches the compiler; and
+``measure_application``, ``run_application``) is *gone* in v2.0 — not
+deprecated, removed; ``verify=`` actually reaches the compiler; and
 the observability sinks (events.jsonl, progress lines) fire.
 """
 
 import io
-import warnings
 
 import pytest
 
+import repro.harness
 from repro.harness import (
     ExperimentSpec,
     ParallelRunner,
     RunRequest,
     RunResult,
     machine_for,
-    measure,
-    measure_application,
     run,
-    run_application,
 )
 from repro.lang import ReproError, validate
 from repro.obs import RunLog, TraceConfig, summarize_run
@@ -84,56 +80,28 @@ class TestFrontDoor:
         assert result[0].metrics["counters"].get("trace.generated") == 1
 
 
-class TestShimEquivalence:
-    @pytest.mark.parametrize("app", ["adi", "swim"])
-    def test_measure_matches_run(self, app):
-        entry = registry.get(app)
-        program = validate(entry.build())
-        machine = machine_for(entry.machine_spec)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = measure(program, "new", SMALL, machine, steps=1)
-        new = run(
-            RunRequest(
-                program=program, levels=("new",), params=SMALL,
-                machine=machine, steps=1,
-            )
-        ).results[0]
-        assert old.row() == new.row()
-        assert old.trace_length == new.trace_length
+class TestLegacyApiRemoved:
+    """The v2.0 contract: the shims are gone, not just deprecated."""
 
-    @pytest.mark.parametrize("app", ["adi", "swim"])
-    def test_measure_application_matches_run(self, app):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = measure_application(app, ["noopt", "new"], params=SMALL, steps=1)
-        new = run(
-            RunRequest(program=app, levels=("noopt", "new"), params=SMALL, steps=1)
-        )
-        assert [r.row() for r in old] == new.rows()
+    @pytest.mark.parametrize(
+        "name", ["measure", "measure_application", "run_application"]
+    )
+    def test_shim_gone(self, name):
+        assert not hasattr(repro.harness, name)
+        assert name not in repro.harness.__all__
 
-    def test_run_application_matches_run_records(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            old = run_application("adi", ["noopt", "new"], params=SMALL, steps=1)
-        new = run(
-            RunRequest(program="adi", levels=("noopt", "new"), params=SMALL, steps=1)
-        ).records()
-        assert [(r.level, r.stats, r.trace_length) for r in old] == [
-            (r.level, r.stats, r.trace_length) for r in new
-        ]
+    def test_no_internal_references_remain(self):
+        from pathlib import Path
 
-    def test_shims_warn_once_per_call_site(self):
-        program, machine = _adi()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.resetwarnings()
-            warnings.simplefilter("default")  # dedup per (site, message)
-            for _ in range(3):  # one call site, three calls
-                measure(program, "noopt", SMALL, machine, steps=1)
-            measure(program, "noopt", SMALL, machine, steps=1)  # second site
-        deprecations = [w for w in caught if w.category is DeprecationWarning]
-        assert len(deprecations) == 2
-        assert "run(RunRequest(...))" in str(deprecations[0].message)
+        harness_dir = Path(repro.harness.__file__).parent
+        hits = []
+        for path in sorted(harness_dir.rglob("*.py")):
+            text = path.read_text()
+            for pattern in ("def measure(", "def measure_application(",
+                            "def run_application("):
+                if pattern in text:
+                    hits.append(f"{path}: {pattern}")
+        assert not hits, hits
 
 
 class TestVerifyThreading:
@@ -147,15 +115,6 @@ class TestVerifyThreading:
             )
         )
         assert verifier.history, "verify= must reach compile_variant"
-
-    def test_measure_shim_forwards_verifier(self):
-        # the historical bug: measure() dropped verify= on the floor
-        program, machine = _adi()
-        verifier = PassVerifier(program, SMALL, steps=1)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            measure(program, "fusion", SMALL, machine, steps=1, verify=verifier)
-        assert verifier.history
 
     def test_verify_off_by_default(self):
         result = run(RunRequest(program="adi", levels=("fusion",), params=SMALL, steps=1))

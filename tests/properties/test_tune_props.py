@@ -1,0 +1,107 @@
+"""Property-based tests for the pipeline autotuner's search space.
+
+Every candidate the tuner can generate — any enabler subset, any fusion
+level, with or without the terminal regroup, and anything reachable from
+there through ``neighbors`` moves — must (1) be a legal pipeline under
+full ``verify-pass`` certification, and (2) produce a program the
+printer round-trips exactly.  This is the legality contract that lets
+``tune()`` rank candidates purely statically without ever executing an
+uncertified transformation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_pipeline
+from repro.lang import parse, to_source, validate
+from repro.programs import registry
+from repro.tune import (
+    ENABLERS,
+    FUSION_LEVELS,
+    candidate_fields,
+    make_candidate,
+    neighbors,
+    parse_signature,
+    spec_signature,
+)
+
+#: a small program keeps certification (dependence re-testing at a
+#: concrete size) fast enough for dozens of hypothesis examples
+SMALL = {"N": 12}
+
+
+def _adi():
+    return validate(registry.get("adi").build())
+
+
+enabler_subsets = st.lists(
+    st.sampled_from(ENABLERS), unique=True, max_size=len(ENABLERS)
+).map(tuple)
+
+candidates = st.builds(
+    make_candidate,
+    enablers=enabler_subsets,
+    fusion=st.sampled_from(FUSION_LEVELS),
+    regroup=st.booleans(),
+)
+
+
+@given(candidates)
+@settings(max_examples=25, deadline=None)
+def test_candidate_passes_certification(spec):
+    """Every generated candidate compiles under full verification."""
+    program = _adi()
+    variant = compile_pipeline(
+        program, spec, verify=True, verify_params=SMALL
+    )
+    assert variant.program is not None
+
+
+@given(candidates)
+@settings(max_examples=25, deadline=None)
+def test_candidate_program_printer_round_trips(spec):
+    """The transformed program survives print -> parse -> print exactly."""
+    program = _adi()
+    variant = compile_pipeline(program, spec)
+    text = to_source(variant.program)
+    reparsed = validate(parse(text))
+    assert to_source(reparsed) == text
+
+
+@given(candidates)
+@settings(max_examples=100, deadline=None)
+def test_signature_round_trips(spec):
+    """spec -> signature -> spec is the identity on steps."""
+    signature = spec_signature(spec)
+    rebuilt = parse_signature(signature)
+    assert rebuilt.steps == spec.steps
+    assert spec_signature(rebuilt) == signature
+
+
+@given(candidates)
+@settings(max_examples=100, deadline=None)
+def test_candidate_fields_invert_make_candidate(spec):
+    enablers, fusion, regroup = candidate_fields(spec)
+    again = make_candidate(enablers=enablers, fusion=fusion, regroup=regroup)
+    assert again.steps == spec.steps
+
+
+@given(candidates, st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_neighbor_chains_stay_candidate_shaped(spec, hops):
+    """Random walks through neighbors() never leave the legal space."""
+    current = spec
+    for hop in range(hops):
+        near = neighbors(current)
+        assert near, f"candidate {spec_signature(current)} has no neighbors"
+        for n in near:
+            # every neighbor is itself well-formed and one move away
+            candidate_fields(n)
+            assert n.steps != current.steps
+        current = near[hop % len(near)]
+    # terminal point still compiles under certification
+    variant = compile_pipeline(
+        _adi(), current, verify=True, verify_params=SMALL
+    )
+    text = to_source(variant.program)
+    assert to_source(validate(parse(text))) == text

@@ -1,0 +1,141 @@
+"""The autotuner's candidate search space."""
+
+import pytest
+
+from repro.core.pm import ALL_KINDS, PASSES
+from repro.lang import TransformError
+from repro.tune import (
+    ENABLERS,
+    FUSION_LEVELS,
+    candidate_fields,
+    canonical_enabler_order,
+    enumerate_candidates,
+    make_candidate,
+    neighbors,
+    parse_signature,
+    spec_signature,
+)
+
+
+class TestCanonicalOrder:
+    def test_invalidating_passes_first(self):
+        order = canonical_enabler_order(("constprop", "unroll"))
+        assert order == ("unroll", "constprop")  # unroll invalidates ALL_KINDS
+
+    def test_registry_order_within_groups(self):
+        order = canonical_enabler_order(("constprop", "distribute"))
+        assert order == ("distribute", "constprop")
+        full = canonical_enabler_order(ENABLERS[::-1])
+        assert full == ENABLERS
+
+    def test_unknown_enabler_rejected(self):
+        with pytest.raises(TransformError):
+            canonical_enabler_order(("bogus",))
+
+    def test_order_is_metadata_derived(self):
+        """The ordering invariant: a pass that invalidates every analysis
+        kind must come before passes that preserve object analyses."""
+        order = canonical_enabler_order(ENABLERS)
+        invalidating = [n for n in order if PASSES[n].invalidates == ALL_KINDS]
+        preserving = [n for n in order if PASSES[n].invalidates != ALL_KINDS]
+        assert order == tuple(invalidating + preserving)
+
+
+class TestMakeCandidate:
+    def test_minimal_candidate(self):
+        spec = make_candidate()
+        assert spec.pass_names() == ("inline", "simplify")
+
+    def test_full_candidate_shape(self):
+        spec = make_candidate(enablers=ENABLERS, fusion=2, regroup=True)
+        names = spec.pass_names()
+        assert names[0] == "inline"
+        assert names[-1] == "regroup"
+        assert "fusion" in names
+        fusion_step = next(s for s in spec.steps if s.name == "fusion")
+        assert fusion_step.kwargs() == {"max_levels": 2}
+
+    def test_fusion_zero_means_no_fusion(self):
+        spec = make_candidate(fusion=0)
+        assert "fusion" not in spec.pass_names()
+
+    def test_all_candidates_validate(self):
+        for spec in enumerate_candidates():
+            spec.validate()
+
+
+class TestSignatures:
+    def test_round_trip(self):
+        spec = make_candidate(enablers=("unroll", "distribute"), fusion=4,
+                              regroup=True)
+        signature = spec_signature(spec)
+        assert parse_signature(signature).steps == spec.steps
+
+    def test_fusion_option_spelled_in_signature(self):
+        assert "fusion:2" in spec_signature(make_candidate(fusion=2))
+
+    def test_bad_signature_rejected(self):
+        with pytest.raises(TransformError):
+            parse_signature("inline+bogus")
+
+    def test_candidate_fields(self):
+        spec = make_candidate(enablers=("split_arrays",), fusion=1)
+        enablers, fusion, regroup = candidate_fields(spec)
+        assert enablers == ("split_arrays",)
+        assert fusion == 1
+        assert regroup is False
+
+
+class TestEnumeration:
+    def test_grid_size(self):
+        grid = enumerate_candidates(
+            enablers=("unroll",), fusion_levels=(0, 1), regroup=True
+        )
+        # 2 subsets x 2 fusion levels x 2 regroup choices
+        assert len(grid) == 8
+
+    def test_cheapest_first(self):
+        grid = enumerate_candidates()
+        lengths = [len(s.steps) for s in grid]
+        assert lengths[0] == min(lengths)
+
+    def test_max_candidates_caps(self):
+        grid = enumerate_candidates(max_candidates=5)
+        assert len(grid) == 5
+
+    def test_full_grid_count(self):
+        grid = enumerate_candidates()
+        assert len(grid) == 2 ** len(ENABLERS) * len(FUSION_LEVELS) * 2
+
+    def test_signatures_unique(self):
+        grid = enumerate_candidates()
+        signatures = [spec_signature(s) for s in grid]
+        assert len(set(signatures)) == len(signatures)
+
+
+class TestNeighbors:
+    def test_moves_are_single_step(self):
+        spec = make_candidate(enablers=("unroll",), fusion=1, regroup=False)
+        near = neighbors(spec)
+        assert near
+        for n in near:
+            enablers, fusion, regroup = candidate_fields(n)
+            changes = (
+                (set(enablers) != {"unroll"})
+                + (fusion != 1)
+                + (regroup is not False)
+            )
+            assert changes == 1
+
+    def test_excludes_self(self):
+        spec = make_candidate()
+        assert all(n.steps != spec.steps for n in neighbors(spec))
+
+    def test_fusion_moves_adjacent(self):
+        spec = make_candidate(fusion=2)
+        fusion_values = {
+            candidate_fields(n)[1]
+            for n in neighbors(spec)
+            if candidate_fields(n)[1] != 2
+        }
+        assert fusion_values <= {1, 4}

@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint static-lint parallelism-lint smoke tune-check benchmarks bench-codegen bench-tune
+.PHONY: check lint test self-lint static-lint parallelism-lint smoke tune-check bandwidth-check benchmarks bench-codegen bench-tune bench-membw
 
-check: lint test self-lint static-lint parallelism-lint smoke tune-check
+check: lint test self-lint static-lint parallelism-lint smoke tune-check bandwidth-check
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -50,6 +50,12 @@ smoke:
 tune-check:
 	$(PYTHON) -m repro tune --check --baseline BENCH_tune.json
 
+# effective-bandwidth gate: every committed BENCH_membw.json row (memory
+# traffic, DRAM row-buffer behaviour, energy) must reproduce exactly,
+# and trace export/import must round-trip to an identical simulation
+bandwidth-check:
+	$(PYTHON) -m repro bench-membw --check --baseline BENCH_membw.json
+
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -64,3 +70,7 @@ bench-codegen:
 bench-tune:
 	$(PYTHON) -m repro tune adi sweep3d fft tomcatv swim --json-out BENCH_tune.json
 	$(PYTHON) -m repro tune sp --enablers "" --fusion-levels 0,1 --json-out BENCH_tune.json
+
+# refresh the committed effective-bandwidth artifact (all six programs)
+bench-membw:
+	$(PYTHON) -m repro bench-membw --json-out BENCH_membw.json

@@ -93,6 +93,7 @@ from .harness import (
     TraceCache,
     format_table,
     machine_for,
+    merge_json_artifact,
     normalized_rows,
     run,
     timing_rows,
@@ -210,6 +211,18 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         title = f"{program.name} ({args.target})"
     print(format_table(NORMALIZED_HEADERS, normalized_rows(results), title=title))
+    if args.bandwidth:
+        from .memsim import BANDWIDTH_HEADERS, bandwidth_rows
+
+        print()
+        print(
+            format_table(
+                BANDWIDTH_HEADERS,
+                bandwidth_rows(results),
+                title="effective bandwidth (memory traffic, DRAM row "
+                "buffer, energy)",
+            )
+        )
     if args.parallelism:
         print()
         print(_parallelism_table(program, results, args.threads))
@@ -409,18 +422,305 @@ def cmd_bench_codegen(args: argparse.Namespace) -> int:
         f"codegen {totals['codegen']:.3f}s -> {overall:.2f}x speedup"
     )
     if args.json_out:
-        payload = {
-            "benchmark": "trace-generation: interpreter vs codegen backend",
-            "apps": args.apps,
-            "levels": args.levels,
-            "repeats": args.repeats,
-            "results": records,
-            "overall_speedup": round(overall, 2),
-            "identical": identical,
-        }
-        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote {args.json_out}")
+        merged = merge_json_artifact(
+            args.json_out,
+            {f"{r['program']}/{r['level']}": r for r in records},
+            {
+                "benchmark": "trace-generation: interpreter vs codegen backend",
+                "repeats": args.repeats,
+                "overall_speedup": round(overall, 2),
+                "identical": identical,
+            },
+            key="results",
+        )
+        print(f"wrote {args.json_out} ({len(merged)} variant(s))")
     return 0 if identical else 1
+
+
+def _resolve_trace_target(args: argparse.Namespace):
+    """(program, params, steps, machine) for the trace subcommands."""
+    params = _parse_params(args.param) or None
+    try:
+        entry = registry.get(args.target)
+    except KeyError:
+        entry = None
+    if entry is not None:
+        program = validate(entry.build())
+        return (
+            program,
+            dict(params or entry.default_params),
+            args.steps if args.steps is not None else entry.steps,
+            machine_for(entry.machine_spec),
+        )
+    if args.target == "fft":
+        from .programs.registry import build_fft
+
+        n = (params or {}).get("n", 64)
+        return (
+            validate(build_fft(n)),
+            {},
+            args.steps if args.steps is not None else 1,
+            machine_for(MachineSpec()),
+        )
+    program = _load_program(args.target)
+    if params is None:
+        raise SystemExit("tracing a source file requires -p NAME=INT")
+    steps = args.steps if args.steps is not None else 1
+    return program, params, steps, machine_for(MachineSpec())
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Trace one (program, level) and write the address stream to disk."""
+    from .engines import resolve_engines
+    from .stream import AddressStream, write_stream, write_stream_csv
+
+    program, params, steps, _ = _resolve_trace_target(args)
+    variant = compile_variant(program, args.level)
+    layout = variant.layout(params)
+    selection = resolve_engines(args.engine)
+    if selection.tracer == "codegen":
+        from .codegen import trace_program as tracer
+    else:
+        from .interp import trace_program as tracer
+    trace = tracer(variant.program, params, steps=steps)
+    stream = AddressStream.from_trace(
+        trace, layout, name=f"{program.name}/{args.level}", source=selection.tracer
+    )
+    out = Path(args.output)
+    as_csv = args.format == "csv" or (args.format == "auto" and out.suffix == ".csv")
+    if as_csv:
+        write_stream_csv(out, stream)
+    else:
+        write_stream(out, stream)
+    print(
+        f"wrote {out} ({'csv' if as_csv else 'binary'}): {len(stream):,} "
+        f"accesses, {int(stream.writes.sum()):,} writes, "
+        f"fingerprint {stream.fingerprint()}"
+    )
+    return 0
+
+
+def _warn_missing_geometry(stream) -> None:
+    if not stream.meta.has_geometry:
+        print(
+            "S501 trace imported without geometry metadata: simulating "
+            "under the shared machine geometry (32 B L1 / 128 B L2 lines, "
+            "8 B elements); see 'repro lint --explain S501'",
+            file=sys.stderr,
+        )
+
+
+def cmd_trace_import(args: argparse.Namespace) -> int:
+    """Load a stream from disk (ours or foreign CSV) and simulate it."""
+    from .engines import resolve_engines
+    from .memsim import (
+        BANDWIDTH_HEADERS,
+        MACHINES,
+        bandwidth_row,
+        simulate_stream,
+    )
+    from .stream import StreamFormatError, read_stream
+
+    try:
+        stream = read_stream(args.file)
+    except (OSError, StreamFormatError, ValueError) as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}")
+    _warn_missing_geometry(stream)
+    if args.machine:
+        machine = MACHINES[args.machine]()
+    elif args.app:
+        machine = machine_for(registry.get(args.app).machine_spec)
+    else:
+        machine = machine_for(MachineSpec())
+    engine = resolve_engines(args.engine).sim
+    stats = simulate_stream(stream, machine, engine=engine)
+    print(f"{args.file}: {stream!r}")
+    print(
+        f"{machine.name}: L1 misses {stats.l1_misses:,}, "
+        f"L2 misses {stats.l2_misses:,}, TLB misses {stats.tlb_misses:,}, "
+        f"writebacks {stats.l2_writebacks:,}"
+    )
+    print(
+        format_table(
+            BANDWIDTH_HEADERS,
+            [bandwidth_row(stream.meta.name, stats)],
+            title="effective bandwidth",
+        )
+    )
+    if args.reuse:
+        from .locality import reuse_distances
+
+        elem = stream.meta.elem_bytes or 8
+        ids = (
+            stream.addresses // elem
+            if stream.meta.unit == "bytes"
+            else stream.addresses
+        )
+        distances = reuse_distances(ids)
+        cold = int((distances == -1).sum())
+        reuse = distances[distances != -1]
+        mean = float(reuse.mean()) if len(reuse) else 0.0
+        print(
+            f"exact reuse (element granularity): {len(reuse):,} reuses, "
+            f"{cold:,} cold, mean distance {mean:,.1f}"
+        )
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    """Print a stream file's metadata without simulating it."""
+    from .stream import StreamFormatError, read_stream
+
+    try:
+        stream = read_stream(args.file)
+    except (OSError, StreamFormatError, ValueError) as exc:
+        raise SystemExit(f"cannot read {args.file}: {exc}")
+    meta = stream.meta
+    print(f"{args.file}: {stream!r}")
+    print(f"  fingerprint: {stream.fingerprint()}")
+    print(f"  meta: {json.dumps(meta.to_json(), sort_keys=True)}")
+    if not meta.has_geometry:
+        print("  geometry: MISSING (S501) - simulation will assume defaults")
+    return 0
+
+
+#: the §6 program set ``bench-membw`` reports by default
+MEMBW_APPS = "swim,tomcatv,adi,sp,sweep3d,fft"
+
+
+def _membw_results(app: str, levels: list[str], args: argparse.Namespace):
+    """Measured VariantResults for one bench-membw program."""
+    if app == "fft":
+        from .programs.registry import build_fft
+
+        request = RunRequest(
+            program=validate(build_fft()),  # the study kernel at DEFAULT_N
+            levels=tuple(levels),
+            params={},
+            steps=1,
+            engine=args.engine,
+            name="fft",
+        )
+    else:
+        request = RunRequest(
+            program=app, levels=tuple(levels), engine=args.engine
+        )
+    return run(request).results
+
+
+def _membw_roundtrip(args: argparse.Namespace) -> list[str]:
+    """Export -> import -> re-simulate must reproduce the direct stats."""
+    from .engines import resolve_engines
+    from .memsim import simulate_stream
+    from .stream import (
+        AddressStream,
+        read_stream,
+        write_stream,
+        write_stream_csv,
+    )
+
+    failures: list[str] = []
+    entry = registry.get("adi")
+    program = validate(entry.build())
+    variant = compile_variant(program, "new")
+    params = dict(entry.default_params)
+    layout = variant.layout(params)
+    selection = resolve_engines(args.engine)
+    if selection.tracer == "codegen":
+        from .codegen import trace_program as tracer
+    else:
+        from .interp import trace_program as tracer
+    trace = tracer(variant.program, params, steps=entry.steps)
+    stream = AddressStream.from_trace(
+        trace, layout, name="adi/new", source=selection.tracer
+    )
+    machine = machine_for(entry.machine_spec)
+    direct = simulate_stream(stream, machine, engine=selection.sim)
+    with tempfile.TemporaryDirectory(prefix="repro-membw-") as tmp:
+        for fmt, writer in (("binary", write_stream), ("csv", write_stream_csv)):
+            path = Path(tmp) / ("t.ast" if fmt == "binary" else "t.csv")
+            writer(path, stream)
+            loaded = read_stream(path)
+            if loaded.fingerprint() != stream.fingerprint():
+                failures.append(f"round-trip ({fmt}): stream fingerprint changed")
+                continue
+            replayed = simulate_stream(loaded, machine, engine=selection.sim)
+            if replayed != direct:
+                failures.append(
+                    f"round-trip ({fmt}): simulation diverged after "
+                    f"export/import ({replayed} != {direct})"
+                )
+    return failures
+
+
+def cmd_bench_membw(args: argparse.Namespace) -> int:
+    """Effective-bandwidth report across the §6 program set.
+
+    Per program and level: memory traffic in bytes (the paper's "data
+    transferred", as actual quantities), the effective bandwidth over
+    the synthesized run time, and the DRAM row-buffer/energy behaviour.
+    ``--json-out`` merges the machine-readable rows into
+    ``BENCH_membw.json``; ``--check --baseline FILE`` re-derives every
+    committed row and verifies the export/import round trip instead.
+    """
+    from .memsim import BANDWIDTH_HEADERS, bandwidth_record, bandwidth_rows
+
+    apps = args.apps.split(",")
+    levels = args.levels.split(",")
+    records: dict[str, dict] = {}
+    for app in apps:
+        results = _membw_results(app, levels, args)
+        print(
+            format_table(
+                BANDWIDTH_HEADERS,
+                bandwidth_rows(results),
+                title=f"{app} effective bandwidth",
+            )
+        )
+        if app != apps[-1]:
+            print()
+        for r in results:
+            records[f"{app}/{r.level}"] = bandwidth_record(app, r.level, r.stats)
+
+    exit_code = 0
+    if args.check:
+        if not args.baseline:
+            raise SystemExit("bench-membw --check requires --baseline FILE")
+        baseline = json.loads(Path(args.baseline).read_text()).get("results", {})
+        failures: list[str] = []
+        for key, expected in sorted(baseline.items()):
+            got = records.get(key)
+            if got is None:
+                failures.append(f"{key}: committed row was not re-measured")
+            elif got != expected:
+                diffs = [
+                    f"{f}: {expected[f]} -> {got[f]}"
+                    for f in expected
+                    if got.get(f) != expected[f]
+                ]
+                failures.append(f"{key}: {'; '.join(diffs)}")
+        failures.extend(_membw_roundtrip(args))
+        print()
+        if failures:
+            print("bench-membw --check: bandwidth regressions detected:")
+            for line in failures:
+                print(f"  {line}")
+            exit_code = 1
+        else:
+            print(
+                f"bench-membw --check ok: {len(baseline)} committed row(s) "
+                f"reproduce exactly; trace export/import round-trips to "
+                f"identical simulation"
+            )
+    if args.json_out:
+        merged = merge_json_artifact(
+            args.json_out,
+            records,
+            {"benchmark": "effective memory bandwidth and DRAM behaviour"},
+            key="results",
+        )
+        print(f"\nwrote {args.json_out} ({len(merged)} row(s))")
+    return exit_code
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -744,13 +1044,16 @@ def cmd_static_reuse(args: argparse.Namespace) -> int:
 
 
 def _cache_elems(target: str) -> tuple[int, int]:
-    """L1/L2 capacities in 8-byte elements: the registry entry's scaled
+    """L1/L2 capacities in array elements: the registry entry's scaled
     machine for an app, the default spec for a file."""
+    from .memsim.geometry import CacheGeometry
+
     try:
         spec = registry.get(target).machine_spec
     except KeyError:
         spec = MachineSpec()
-    return spec.l1_bytes // 8, spec.l2_bytes // 8
+    geometry = CacheGeometry.from_spec(spec)
+    return geometry.l1_elems, geometry.l2_elems
 
 
 def cmd_parallelism(args: argparse.Namespace) -> int:
@@ -1044,23 +1347,15 @@ def cmd_tune(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps({"programs": payload}, indent=2))
     if args.json_out:
-        out_path = Path(args.json_out)
-        existing: dict[str, object] = {}
-        if out_path.exists():
-            existing = json.loads(out_path.read_text()).get("programs", {})
-        existing.update(payload)
-        out_path.write_text(
-            json.dumps(
-                {
-                    "benchmark": "static-profile pipeline autotuning",
-                    "objective": args.objective,
-                    "programs": dict(sorted(existing.items())),
-                },
-                indent=2,
-            )
-            + "\n"
+        merged = merge_json_artifact(
+            args.json_out,
+            payload,
+            {
+                "benchmark": "static-profile pipeline autotuning",
+                "objective": args.objective,
+            },
         )
-        print(f"wrote {args.json_out} ({len(existing)} program(s))")
+        print(f"wrote {args.json_out} ({len(merged)} program(s))")
     return exit_code
 
 
@@ -1142,6 +1437,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true", help="print per-stage wall-clock table"
     )
     report.add_argument(
+        "--bandwidth", action="store_true",
+        help="append the effective-bandwidth table (memory traffic in MB, "
+        "GB/s over the synthesized run time, DRAM row-buffer hit rate, "
+        "energy)",
+    )
+    report.add_argument(
         "--parallelism", action="store_true",
         help="append per-level axis verdicts and the predicted multicore "
         "miss table (private L1 per thread, shared L2)",
@@ -1203,6 +1504,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the machine-readable payload (BENCH_codegen.json)",
     )
     bench_cg.set_defaults(fn=cmd_bench_codegen)
+
+    bench_bw = sub.add_parser(
+        "bench-membw",
+        help="effective-bandwidth and DRAM report across the paper's programs",
+        parents=[engine_args],
+    )
+    bench_bw.add_argument(
+        "--apps", default=MEMBW_APPS,
+        help=f"comma-separated programs (default {MEMBW_APPS})",
+    )
+    bench_bw.add_argument("--levels", default="noopt,new")
+    bench_bw.add_argument(
+        "--json-out", default=None, metavar="FILE",
+        help="merge the machine-readable rows into FILE (BENCH_membw.json); "
+        "existing rows for other program/level pairs are kept",
+    )
+    bench_bw.add_argument(
+        "--check", action="store_true",
+        help="verify the committed --baseline rows reproduce exactly and "
+        "the trace export/import round trip preserves the simulation",
+    )
+    bench_bw.add_argument("--baseline", default=None, metavar="FILE")
+    bench_bw.set_defaults(fn=cmd_bench_membw)
+
+    trace = sub.add_parser(
+        "trace", help="export, import, or inspect address-stream files"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    texp = trace_sub.add_parser(
+        "export",
+        help="trace a program and write the address stream to disk",
+        parents=[params_args, engine_args],
+    )
+    texp.add_argument("target", help="registry app name, 'fft', or source file")
+    texp.add_argument("-o", "--output", required=True, metavar="FILE")
+    texp.add_argument("--level", default="new", help="optimization level")
+    texp.add_argument(
+        "--format", choices=("auto", "binary", "csv"), default="auto",
+        help="on-disk format (auto: csv for .csv paths, binary otherwise)",
+    )
+    texp.set_defaults(fn=cmd_trace_export)
+    timp = trace_sub.add_parser(
+        "import",
+        help="load a stream (.ast binary or CSV) and simulate it",
+        parents=[engine_args],
+    )
+    timp.add_argument("file", help="stream file (binary .ast or CSV)")
+    timp.add_argument(
+        "--machine", choices=("octane", "origin2000"), default=None,
+        help="simulate on this base machine (default: the default scaled spec)",
+    )
+    timp.add_argument(
+        "--app", default=None,
+        help="simulate on this registry app's scaled machine instead",
+    )
+    timp.add_argument(
+        "--reuse", action="store_true",
+        help="also run the exact reuse-distance analyzer on the stream",
+    )
+    timp.set_defaults(fn=cmd_trace_import)
+    tinf = trace_sub.add_parser("info", help="print a stream file's metadata")
+    tinf.add_argument("file")
+    tinf.set_defaults(fn=cmd_trace_info)
 
     cache = sub.add_parser("cache", help="inspect or clear the trace/result cache")
     cache.add_argument("--dir", default=None, help="cache directory (default .cache)")
@@ -1370,9 +1734,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra target size to score at (repeatable; -p sizes come first)",
     )
     tune.add_argument(
-        "--objective", choices=("misses", "parallel-misses"), default="misses",
-        help="ranking objective: single-core L1+L2 predicted misses, or the "
-        "multicore prediction (private L1 per thread + shared L2)",
+        "--objective", choices=("misses", "parallel-misses", "bytes"),
+        default="misses",
+        help="ranking objective: single-core L1+L2 predicted misses, the "
+        "multicore prediction (private L1 per thread + shared L2), or "
+        "predicted bytes moved (misses weighted by line size)",
     )
     tune.add_argument(
         "--threads", type=int, default=4,

@@ -26,7 +26,7 @@ degradation is observable (and lintable, code S401).
 from .executor import CodegenExecutor, plan_execution, run_program
 from .lowering import CodegenUnsupported, int_affine, trace_fingerprint
 from .plan import CodegenPlan, plan_program
-from .tracer import trace_program
+from .tracer import trace_program, trace_stream
 
 __all__ = [
     "CodegenExecutor",
@@ -38,4 +38,5 @@ __all__ = [
     "run_program",
     "trace_fingerprint",
     "trace_program",
+    "trace_stream",
 ]

@@ -6,6 +6,7 @@ trio is gone (v2.0); see the README migration table for the
 ``RunRequest`` equivalents.
 """
 
+from .artifacts import merge_json_artifact
 from .cache import TraceCache, default_cache_dir, layout_fingerprint
 from .experiment import (
     VariantResult,
@@ -52,6 +53,7 @@ __all__ = [
     "layout_fingerprint",
     "machine_for",
     "measure_variant",
+    "merge_json_artifact",
     "normalized_rows",
     "progress_line",
     "ratio",

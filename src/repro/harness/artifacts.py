@@ -1,0 +1,45 @@
+"""Machine-readable benchmark artifacts (the committed ``BENCH_*.json``).
+
+Every benchmark CLI that supports ``--json-out`` appends to a committed
+artifact rather than overwriting it, so partial refreshes compose: tune
+one program and the other programs' entries survive (the pattern `make
+bench-tune` relies on — sp is refreshed by a separate, cheaper
+invocation).  :func:`merge_json_artifact` is that read-merge-rewrite in
+one place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+
+def merge_json_artifact(
+    path: Union[str, Path],
+    records: Mapping[str, object],
+    header: Optional[Mapping[str, object]] = None,
+    *,
+    key: str = "programs",
+) -> dict[str, object]:
+    """Merge keyed ``records`` into the JSON artifact at ``path``.
+
+    Loads the existing artifact's ``key`` mapping (a missing, empty, or
+    non-JSON file starts fresh), overwrites entries whose key appears in
+    ``records``, keeps every other committed entry, and rewrites the
+    file as the ``header`` fields plus the merged mapping under ``key``,
+    sorted for stable diffs.  Returns the merged mapping.
+    """
+    out_path = Path(path)
+    existing: dict[str, object] = {}
+    if out_path.exists():
+        try:
+            existing = dict(json.loads(out_path.read_text()).get(key, {}))
+        except (ValueError, AttributeError):
+            existing = {}
+    existing.update(records)
+    merged = dict(sorted(existing.items()))
+    payload: dict[str, object] = dict(header or {})
+    payload[key] = merged
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    return merged

@@ -3,11 +3,14 @@
 Trace generation (interpreting the program) dominates warm experiment
 time once the fast simulation engine is in play, and the same (program,
 size, optimization level, layout) tuple is re-traced by every benchmark
-that touches it.  :class:`TraceCache` persists the two arrays the
-simulator actually consumes — the byte-address stream and the write
-mask — under ``.cache/`` so repeat runs replay instead of re-tracing,
-plus the final :class:`~repro.memsim.MemStats` per (trace, machine,
-engine) so fully-repeated experiments skip simulation entirely.
+that touches it.  :class:`TraceCache` persists the
+:class:`~repro.stream.AddressStream` the simulator actually consumes —
+byte addresses plus the write mask, in the RLE-compressed ``.ast``
+binary format — under ``.cache/`` so repeat runs replay instead of
+re-tracing, plus the final :class:`~repro.memsim.MemStats` per (trace,
+machine, engine) so fully-repeated experiments skip simulation
+entirely.  Entries written by the pre-stream ``.npz`` layout simply
+read as misses and are re-traced once.
 
 Keys are content hashes over the compiled program text, the parameter
 binding, the step count, and a fingerprint of the data layout (array
@@ -26,11 +29,11 @@ import os
 from pathlib import Path
 from typing import Mapping, Optional
 
-import numpy as np
-
 from ..core.regroup.layout import Layout
 from ..memsim import MachineConfig, MemStats
 from ..obs import metrics
+from ..stream import AddressStream, write_stream
+from ..stream.io import StreamFormatError, read_stream_binary
 
 #: Default cache directory (overridable via ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = ".cache"
@@ -93,27 +96,24 @@ class TraceCache:
 
     # -- traces --------------------------------------------------------
 
-    def load_trace(self, key: str) -> Optional[tuple[np.ndarray, np.ndarray]]:
-        path = self.root / f"trace-{key}.npz"
+    def load_trace(self, key: str) -> Optional[AddressStream]:
+        path = self.root / f"trace-{key}.ast"
         if not path.exists():
             metrics.inc("cache.trace.misses")
             return None
         try:
-            with np.load(path) as data:
-                out = data["addresses"], data["writes"]
-        except (OSError, KeyError, ValueError):
+            stream = read_stream_binary(path)
+        except (OSError, StreamFormatError, ValueError):
             metrics.inc("cache.trace.misses")
             return None  # corrupt entry: treat as a miss, it will be rewritten
         metrics.inc("cache.trace.hits")
-        return out
+        return stream
 
-    def store_trace(
-        self, key: str, addresses: np.ndarray, writes: np.ndarray
-    ) -> None:
+    def store_trace(self, key: str, stream: AddressStream) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"trace-{key}.npz"
-        tmp = path.with_suffix(".tmp.npz")
-        np.savez(tmp, addresses=addresses, writes=writes)
+        path = self.root / f"trace-{key}.ast"
+        tmp = path.with_suffix(".tmp.ast")
+        write_stream(tmp, stream)
         tmp.replace(path)  # atomic publish: concurrent readers never see partial files
         metrics.inc("cache.trace.stores")
 

@@ -32,11 +32,12 @@ from ..memsim import (
     MemStats,
     default_engine,
     scaled_machine,
-    simulate_addresses,
     simulate_hierarchy,
+    simulate_stream,
 )
 from ..obs import SpanEvent, metrics, span
 from ..programs import registry
+from ..stream import AddressStream
 from ..verify import PassVerifier
 from .cache import TraceCache, layout_fingerprint
 
@@ -204,22 +205,22 @@ def measure_variant(
             stats = cache.load_result(rkey)
             if stats is not None:
                 return _result(stats, stats.accesses)
-        cached = cache.load_trace(tkey)
-        if cached is not None:
-            addresses, writes = cached
-        else:
+        stream = cache.load_trace(tkey)
+        if stream is None:
             trace = _generate_trace(selection, variant.program, params, steps, timings)
             with span("addresses") as sp:
-                addresses = layout.addresses(trace, in_bytes=True)
+                stream = AddressStream.from_trace(
+                    trace,
+                    layout,
+                    name=name or program.name,
+                    source=selection.tracer,
+                )
             timings["addresses"] = sp.duration_s
-            writes = trace.writes
-            cache.store_trace(tkey, addresses, writes)
-        stats = simulate_addresses(
-            addresses, writes, machine, engine=engine, timings=timings
-        )
+            cache.store_trace(tkey, stream)
+        stats = simulate_stream(stream, machine, engine=engine, timings=timings)
         if result_cache:
             cache.store_result(rkey, stats)
-        return _result(stats, len(addresses))
+        return _result(stats, len(stream))
 
     trace = _generate_trace(selection, variant.program, params, steps, timings)
     stats = simulate_hierarchy(

@@ -84,7 +84,9 @@ NORMALIZED_HEADERS = (
 
 
 #: Canonical stage order for :func:`timing_rows`.
-TIMING_STAGES = ("compile", "trace-gen", "addresses", "l1", "l2", "tlb", "distance")
+TIMING_STAGES = (
+    "compile", "trace-gen", "addresses", "l1", "l2", "tlb", "dram", "distance"
+)
 
 TIMING_HEADERS = ("level",) + TIMING_STAGES + ("total",)
 

@@ -5,7 +5,7 @@ from .interleave import InterleavedRun, interleave_trace, round_robin
 from .interpreter import Interpreter, run_program
 from .state import check_params, init_arrays
 from .trace import AccessTrace, RefInfo, TraceBuilder
-from .tracegen import trace_program
+from .tracegen import trace_program, trace_stream
 
 __all__ = [
     "AccessTrace",
@@ -21,4 +21,5 @@ __all__ = [
     "round_robin",
     "run_program",
     "trace_program",
+    "trace_stream",
 ]

@@ -9,7 +9,10 @@ round-robin ``block`` accesses at a time.  Serial nests run entirely on
 thread 0.  An implicit barrier separates consecutive nests (and steps),
 exactly like OpenMP's parallel-for join.
 
-Two views come out of a run:
+Two views come out of a run, both as typed
+:class:`~repro.stream.AddressStream` objects in element units (the
+canonical global keys — streams support the array protocol, so numpy
+consumers see the key column directly):
 
 ``merged``
     the interleaved access stream every thread sees — feed it to
@@ -38,6 +41,7 @@ import numpy as np
 
 from ..lang import Loop, Program
 from ..obs import metrics, span
+from ..stream import AddressStream
 from .tracegen import trace_program
 
 
@@ -50,12 +54,12 @@ class InterleavedRun:
     schedule: str
     block: int
     parallel_nests: tuple[int, ...]
-    merged: np.ndarray  # int64 global keys, round-robin interleaved
-    per_thread: tuple[np.ndarray, ...]  # each thread's private stream
+    merged: AddressStream  # global keys, round-robin interleaved
+    per_thread: tuple[AddressStream, ...]  # each thread's private stream
 
     @property
     def total(self) -> int:
-        return int(self.merged.size)
+        return len(self.merged)
 
 
 def round_robin(
@@ -167,8 +171,11 @@ def interleave_trace(
             np.concatenate(merged) if merged else np.empty(0, np.int64)
         )
         per_thread = tuple(
-            np.concatenate(p) if p else np.empty(0, np.int64)
-            for p in private
+            AddressStream.from_keys(
+                np.concatenate(p) if p else np.empty(0, np.int64),
+                name=f"{program.name}/t{t}",
+            )
+            for t, p in enumerate(private)
         )
         metrics.inc("trace.interleaved_runs")
         metrics.inc("trace.interleaved_accesses", int(merged_keys.size))
@@ -178,7 +185,9 @@ def interleave_trace(
             schedule=schedule,
             block=block,
             parallel_nests=tuple(sorted(parallel)),
-            merged=merged_keys,
+            merged=AddressStream.from_keys(
+                merged_keys, name=f"{program.name}/shared"
+            ),
             per_thread=per_thread,
         )
 

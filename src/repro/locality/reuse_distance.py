@@ -28,8 +28,10 @@ def reuse_distances(keys: Sequence[int] | np.ndarray) -> np.ndarray:
     Parameters
     ----------
     keys:
-        One integer per access identifying the datum (e.g.
-        :meth:`AccessTrace.global_keys`).
+        One integer per access identifying the datum — a raw array
+        (e.g. :meth:`AccessTrace.global_keys`) or an
+        :class:`~repro.stream.AddressStream`, whose address column is
+        used via the array protocol.
 
     Returns
     -------

@@ -8,8 +8,38 @@ from .cache import (
     simulate_cache,
     simulate_cache_writeback,
 )
+from .bandwidth import (
+    BANDWIDTH_HEADERS,
+    bandwidth_record,
+    bandwidth_row,
+    bandwidth_rows,
+)
+from .dram import DRAMConfig, DRAMResult, simulate_dram
 from .fastsim import fa_miss_counts
-from .hierarchy import MemStats, miss_mask_l1, simulate_addresses, simulate_hierarchy
+from .geometry import (
+    ELEM_BYTES,
+    L1_LINE_BYTES,
+    L2_LINE_BYTES,
+    PAGE_BYTES,
+    CacheGeometry,
+)
+from .hierarchy import (
+    MemStats,
+    miss_mask_l1,
+    simulate_addresses,
+    simulate_hierarchy,
+    simulate_stream,
+    stats_from_hierarchy,
+)
+from .levels import (
+    CacheLevel,
+    DRAMLevel,
+    HierarchyResult,
+    LevelResult,
+    MemoryHierarchy,
+    MemoryLevel,
+    TLBLevel,
+)
 from .machine import (
     MACHINES,
     MachineConfig,
@@ -21,14 +51,32 @@ from .machine import (
 )
 
 __all__ = [
+    "BANDWIDTH_HEADERS",
     "CacheConfig",
+    "CacheGeometry",
+    "CacheLevel",
     "CacheResult",
+    "DRAMConfig",
+    "DRAMLevel",
+    "DRAMResult",
+    "ELEM_BYTES",
     "ENGINES",
+    "HierarchyResult",
+    "L1_LINE_BYTES",
+    "L2_LINE_BYTES",
+    "LevelResult",
     "MACHINES",
     "MachineConfig",
     "MemStats",
+    "MemoryHierarchy",
+    "MemoryLevel",
+    "PAGE_BYTES",
     "TLBConfig",
+    "TLBLevel",
     "TimingModel",
+    "bandwidth_record",
+    "bandwidth_row",
+    "bandwidth_rows",
     "default_engine",
     "fa_miss_counts",
     "miss_mask_l1",
@@ -38,5 +86,8 @@ __all__ = [
     "simulate_addresses",
     "simulate_cache",
     "simulate_cache_writeback",
+    "simulate_dram",
     "simulate_hierarchy",
+    "simulate_stream",
+    "stats_from_hierarchy",
 ]

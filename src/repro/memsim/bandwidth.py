@@ -1,0 +1,67 @@
+"""Effective-bandwidth and energy reporting from simulation results.
+
+The paper's §6 normalizes "data transferred" per program; these helpers
+turn the same miss counts into actual quantities — megabytes across
+each hierarchy boundary, the effective bandwidth the run sustained
+(traffic / synthesized run time), the DRAM row-buffer hit rate, and the
+energy the memory device spent.  One row per (program, level); the CLI
+renders them under ``repro report --bandwidth`` and ``repro
+bench-membw``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .hierarchy import MemStats
+
+BANDWIDTH_HEADERS = (
+    "level",
+    "accesses",
+    "L2->L1 MB",
+    "mem MB",
+    "GB/s",
+    "row hit%",
+    "banks",
+    "energy mJ",
+)
+
+
+def bandwidth_row(label: str, stats: MemStats) -> list[object]:
+    """One table row: boundary traffic, bandwidth, DRAM behaviour."""
+    return [
+        label,
+        stats.accesses,
+        f"{stats.l1_fill_bytes / 1e6:.2f}",
+        f"{stats.data_transferred_bytes / 1e6:.2f}",
+        f"{stats.effective_bandwidth_bytes_s / 1e9:.3f}",
+        f"{100.0 * stats.dram_row_hit_rate:.1f}",
+        stats.dram_banks_touched,
+        f"{stats.dram_energy_nj / 1e6:.3f}",
+    ]
+
+
+def bandwidth_rows(results: Sequence) -> list[list[object]]:
+    """Rows for :class:`~repro.harness.VariantResult` sequences."""
+    return [bandwidth_row(r.level, r.stats) for r in results]
+
+
+def bandwidth_record(program: str, level: str, stats: MemStats) -> dict:
+    """The machine-readable row ``BENCH_membw.json`` commits."""
+    return {
+        "program": program,
+        "level": level,
+        "accesses": stats.accesses,
+        "l1_misses": stats.l1_misses,
+        "l2_misses": stats.l2_misses,
+        "l2_writebacks": stats.l2_writebacks,
+        "l1_fill_bytes": stats.l1_fill_bytes,
+        "data_transferred_bytes": stats.data_transferred_bytes,
+        "effective_bandwidth_gb_s": round(
+            stats.effective_bandwidth_bytes_s / 1e9, 6
+        ),
+        "dram_row_hits": stats.dram_row_hits,
+        "dram_row_misses": stats.dram_row_misses,
+        "dram_banks_touched": stats.dram_banks_touched,
+        "dram_energy_nj": round(stats.dram_energy_nj, 3),
+    }

@@ -67,6 +67,13 @@ class CacheConfig:
         return self.size_bytes // self.line_bytes
 
     @property
+    def line_elems(self) -> int:
+        """Array elements per line (the unit the static analyses count)."""
+        from .geometry import ELEM_BYTES
+
+        return max(1, self.line_bytes // ELEM_BYTES)
+
+    @property
     def num_sets(self) -> int:
         return 1 if self.assoc == 0 else self.num_lines // self.assoc
 

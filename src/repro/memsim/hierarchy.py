@@ -1,10 +1,15 @@
 """Whole-hierarchy simulation: trace + layout + machine -> miss counts.
 
-The L1 sees every access; the L2 sees exactly the L1 misses (the chained
-miss mask); the TLB sees every access at page granularity.  Data
-transferred from memory is L2 misses x L2 line size — the quantity the
-paper's §6 table normalizes — and execution time is synthesized from the
-additive :class:`TimingModel`.
+The fixed pipeline lives in :mod:`repro.memsim.levels` now — the
+standard stack is L1 (sees every access), L2 (sees exactly the L1
+misses), TLB (every access at page granularity), and DRAM (the L2 fill
+stream, with row-buffer and energy accounting).  Data transferred from
+memory is L2 misses x L2 line size — the quantity the paper's §6 table
+normalizes — and execution time is synthesized from the additive
+:class:`TimingModel`.  This module keeps the stable entry points
+(`simulate_hierarchy`, `simulate_addresses`) and folds a
+:class:`HierarchyResult` down to the flat :class:`MemStats` record the
+harness caches and compares bit-for-bit across engines.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ import numpy as np
 from ..core.regroup.layout import Layout
 from ..interp.trace import AccessTrace
 from ..obs import span
-from .cache import default_engine, simulate_cache, simulate_cache_writeback
+from .cache import simulate_cache
+from .levels import HierarchyResult, MemoryHierarchy
 from .machine import MachineConfig
 
 
@@ -35,6 +41,13 @@ class MemStats:
     seconds: float
     #: dirty L2 lines written back to memory (outbound bandwidth)
     l2_writebacks: int = 0
+    #: DRAM row-buffer outcome of the L2 fill stream (0 on entries
+    #: cached before the DRAM level existed)
+    dram_row_hits: int = 0
+    dram_row_misses: int = 0
+    dram_banks_touched: int = 0
+    #: energy the memory device spent on this run (nanojoules)
+    dram_energy_nj: float = 0.0
 
     @property
     def l1_miss_rate(self) -> float:
@@ -55,6 +68,21 @@ class MemStats:
         write-backs."""
         return (self.l2_misses + self.l2_writebacks) * self.l2_line_bytes
 
+    @property
+    def l1_fill_bytes(self) -> int:
+        """Bytes moved across the L2 -> L1 boundary (L1 fills)."""
+        return self.l1_misses * self.l1_line_bytes
+
+    @property
+    def effective_bandwidth_bytes_s(self) -> float:
+        """Memory traffic over synthesized run time: §6's headline lens."""
+        return self.data_transferred_bytes / self.seconds if self.seconds else 0.0
+
+    @property
+    def dram_row_hit_rate(self) -> float:
+        fills = self.dram_row_hits + self.dram_row_misses
+        return self.dram_row_hits / fills if fills else 0.0
+
     def normalized_to(self, base: "MemStats") -> dict[str, float]:
         def ratio(a: float, b: float) -> float:
             return a / b if b else (0.0 if a == 0 else float("inf"))
@@ -67,6 +95,41 @@ class MemStats:
         }
 
 
+def stats_from_hierarchy(
+    outcome: HierarchyResult, machine: MachineConfig
+) -> MemStats:
+    """Fold per-level results down to the flat cached/compared record."""
+    l1, l2, tlb = outcome["l1"], outcome["l2"], outcome["tlb"]
+    n, n1, n2, nt = outcome.accesses, l1.misses, l2.misses, tlb.misses
+    t = machine.timing
+    cycles = (
+        n * t.cycles_per_access
+        + n1 * t.l1_miss_cycles
+        + n2 * t.l2_miss_cycles
+        + nt * t.tlb_miss_cycles
+    )
+    latency_seconds = cycles / (t.clock_mhz * 1e6)
+    bandwidth_seconds = (
+        (n2 + l2.writebacks) * machine.l2.line_bytes
+    ) / (t.bandwidth_mb_s * 1e6)
+    dram = outcome.dram
+    return MemStats(
+        machine=machine.name,
+        accesses=n,
+        l1_misses=n1,
+        l2_misses=n2,
+        tlb_misses=nt,
+        l1_line_bytes=machine.l1.line_bytes,
+        l2_line_bytes=machine.l2.line_bytes,
+        seconds=max(latency_seconds, bandwidth_seconds),
+        l2_writebacks=l2.writebacks,
+        dram_row_hits=dram.row_hits if dram is not None else 0,
+        dram_row_misses=dram.row_misses if dram is not None else 0,
+        dram_banks_touched=dram.banks_touched if dram is not None else 0,
+        dram_energy_nj=dram.energy_nj if dram is not None else 0.0,
+    )
+
+
 def simulate_hierarchy(
     trace: AccessTrace,
     layout: Layout,
@@ -74,13 +137,14 @@ def simulate_hierarchy(
     engine: Optional[str] = None,
     timings: Optional[MutableMapping[str, float]] = None,
 ) -> MemStats:
-    """Simulate L1 -> L2 -> TLB for one (trace, layout) pair.
+    """Simulate L1 -> L2 -> TLB -> DRAM for one (trace, layout) pair.
 
     ``engine`` selects the simulation implementation (see
     :data:`repro.memsim.cache.ENGINES`).  When ``timings`` is a mapping,
     per-stage wall-clock seconds are accumulated into it under the keys
-    ``addresses``, ``l1``, ``l2`` and ``tlb``.  Each stage also emits an
-    :mod:`repro.obs` span, so profiles see the same breakdown.
+    ``addresses``, ``l1``, ``l2``, ``tlb`` and ``dram``.  Each stage
+    also emits an :mod:`repro.obs` span, so profiles see the same
+    breakdown.
     """
     with span("addresses", accesses=len(trace)) as sp:
         addresses = layout.addresses(trace, in_bytes=True)
@@ -101,55 +165,31 @@ def simulate_addresses(
     """Simulate the hierarchy from a pre-computed byte-address stream.
 
     This is the entry point the trace cache uses: a cached (addresses,
-    writes) pair replays without re-tracing or re-laying-out the program.
-    Each stage runs under an :mod:`repro.obs` span named ``l1``/``l2``/
-    ``tlb``; the legacy ``timings`` mapping is filled from the same spans.
+    writes) pair replays without re-tracing or re-laying-out the
+    program.  Each level runs under an :mod:`repro.obs` span named
+    after it (``l1``/``l2``/``tlb``/``dram``); the legacy ``timings``
+    mapping is filled from the same spans.
     """
-    resolved = engine or default_engine()
-
-    def _mark(stage: str, sp) -> None:
-        if timings is not None:
-            timings[stage] = timings.get(stage, 0.0) + sp.duration_s
-
-    with span("l1", engine=resolved) as sp:
-        l1_miss = simulate_cache(machine.l1, addresses, engine=engine)
-        sp.attrs["misses"] = int(l1_miss.sum())
-    _mark("l1", sp)
-    with span("l2", engine=resolved) as sp:
-        l2 = simulate_cache_writeback(
-            machine.l2, addresses[l1_miss], writes[l1_miss], engine=engine
-        )
-        sp.attrs["misses"] = l2.misses
-    _mark("l2", sp)
-    with span("tlb", engine=resolved) as sp:
-        tlb_miss = simulate_cache(machine.tlb.as_cache(), addresses, engine=engine)
-        sp.attrs["misses"] = int(tlb_miss.sum())
-    _mark("tlb", sp)
-    n = len(addresses)
-    n1 = int(l1_miss.sum())
-    n2 = l2.misses
-    nt = int(tlb_miss.sum())
-    t = machine.timing
-    cycles = (
-        n * t.cycles_per_access
-        + n1 * t.l1_miss_cycles
-        + n2 * t.l2_miss_cycles
-        + nt * t.tlb_miss_cycles
+    hierarchy = MemoryHierarchy.standard(machine)
+    outcome = hierarchy.simulate(
+        addresses, writes, engine=engine, timings=timings
     )
-    latency_seconds = cycles / (t.clock_mhz * 1e6)
-    bandwidth_seconds = (
-        (n2 + l2.writebacks) * machine.l2.line_bytes
-    ) / (t.bandwidth_mb_s * 1e6)
-    return MemStats(
-        machine=machine.name,
-        accesses=n,
-        l1_misses=n1,
-        l2_misses=n2,
-        tlb_misses=nt,
-        l1_line_bytes=machine.l1.line_bytes,
-        l2_line_bytes=machine.l2.line_bytes,
-        seconds=max(latency_seconds, bandwidth_seconds),
-        l2_writebacks=l2.writebacks,
+    return stats_from_hierarchy(outcome, machine)
+
+
+def simulate_stream(
+    stream,
+    machine: MachineConfig,
+    engine: Optional[str] = None,
+    timings: Optional[MutableMapping[str, float]] = None,
+) -> MemStats:
+    """Simulate an :class:`~repro.stream.AddressStream` end to end.
+
+    The stream front door: its write column rides along automatically,
+    so imported traces and cached streams replay with one call.
+    """
+    return simulate_addresses(
+        stream.addresses, stream.writes, machine, engine=engine, timings=timings
     )
 
 

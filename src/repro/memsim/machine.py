@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .cache import CacheConfig
+from .dram import DRAMConfig
+from .geometry import L1_LINE_BYTES, L2_LINE_BYTES, PAGE_BYTES
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,9 @@ class MachineConfig:
     l2: CacheConfig
     tlb: TLBConfig
     timing: TimingModel = TimingModel()
+    #: memory device behind the L2 (row-buffer and energy accounting);
+    #: deliberately not scaled — DRAM pages do not shrink with the data set
+    dram: DRAMConfig = DRAMConfig()
 
     def scaled(self, factor: float, suffix: str = "") -> "MachineConfig":
         """Shrink the hierarchy with the data set (see module docstring)."""
@@ -78,9 +83,9 @@ def octane() -> MachineConfig:
     """SGI Octane (R10K): 32 KB L1, 1 MB L2, 64-entry TLB (§4.2)."""
     return MachineConfig(
         name="octane",
-        l1=CacheConfig("L1", 32 * 1024, 32, 2),
-        l2=CacheConfig("L2", 1024 * 1024, 128, 2),
-        tlb=TLBConfig(64, 16 * 1024),
+        l1=CacheConfig("L1", 32 * 1024, L1_LINE_BYTES, 2),
+        l2=CacheConfig("L2", 1024 * 1024, L2_LINE_BYTES, 2),
+        tlb=TLBConfig(64, PAGE_BYTES),
     )
 
 
@@ -88,9 +93,9 @@ def origin2000() -> MachineConfig:
     """SGI Origin2000 (R12K): 32 KB L1, 4 MB L2, 64-entry TLB (§4.2)."""
     return MachineConfig(
         name="origin2000",
-        l1=CacheConfig("L1", 32 * 1024, 32, 2),
-        l2=CacheConfig("L2", 4 * 1024 * 1024, 128, 2),
-        tlb=TLBConfig(64, 16 * 1024),
+        l1=CacheConfig("L1", 32 * 1024, L1_LINE_BYTES, 2),
+        l2=CacheConfig("L2", 4 * 1024 * 1024, L2_LINE_BYTES, 2),
+        tlb=TLBConfig(64, PAGE_BYTES),
     )
 
 

@@ -170,6 +170,27 @@ class StaticProfile:
                     misses += count
         return misses
 
+    def predicted_bytes(self, params: Params, geometry) -> dict[str, float]:
+        """Predicted data moved per level: misses × line size.
+
+        ``geometry`` is a :class:`~repro.memsim.CacheGeometry` (or any
+        object with ``l1_elems``/``l2_elems`` capacities and
+        ``l1_line_bytes``/``l2_line_bytes``).  ``memory_bytes`` — L2
+        misses times the L2 line — is the static counterpart of the
+        simulator's ``data_transferred_bytes`` (minus writebacks, which
+        a reuse profile cannot see); ``l1_fill_bytes`` is the L2→L1
+        refill traffic.  This is what ``tune --objective bytes``
+        minimizes.
+        """
+        l1_misses = self.miss_count(params, geometry.l1_elems)
+        l2_misses = self.miss_count(params, geometry.l2_elems)
+        return {
+            "l1_misses": l1_misses,
+            "l2_misses": l2_misses,
+            "l1_fill_bytes": l1_misses * geometry.l1_line_bytes,
+            "memory_bytes": l2_misses * geometry.l2_line_bytes,
+        }
+
     def evadable_classes(
         self,
         small: Params,

@@ -42,6 +42,7 @@ from ..core import compile_pipeline
 from ..core.pm import OPT_LEVELS, PIPELINES, PipelineSpec, spec_to_json
 from ..harness import RunRequest, TraceCache, format_table, run
 from ..lang import Program, ReproError, validate
+from ..memsim.geometry import CacheGeometry
 from ..obs import RunLog, make_event, metrics, span, spec_logging
 from ..programs import registry
 from ..programs.registry import MachineSpec, build_fft
@@ -56,7 +57,7 @@ from .candidates import (
 )
 
 #: objective names ``TuneRequest.objective`` accepts
-OBJECTIVES = ("misses", "parallel-misses")
+OBJECTIVES = ("misses", "parallel-misses", "bytes")
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,9 @@ class TuneRequest:
         ``"misses"`` ranks by predicted single-thread L1+L2 misses;
         ``"parallel-misses"`` by the multicore prediction — per-thread
         private L1 plus shared L2 at ``threads``/``schedule``;
+        ``"bytes"`` by predicted data moved — misses weighted by the
+        per-level line size (:mod:`repro.memsim.geometry`), the static
+        side of the effective-bandwidth report;
     ``enablers`` / ``fusion_levels`` / ``regroup``
         the candidate grid (see :func:`repro.tune.enumerate_candidates`);
         shrink these for programs whose fused analysis is expensive;
@@ -303,10 +307,19 @@ def _score_profile(
         else:
             l1m = profile.miss_count(params, l1)
             l2m = profile.miss_count(params, l2)
-        per_size.append(
-            {"params": dict(size), "l1": round(l1m, 3), "l2": round(l2m, 3)}
-        )
-        total += l1m + l2m
+        entry = {"params": dict(size), "l1": round(l1m, 3), "l2": round(l2m, 3)}
+        if objective == "bytes":
+            # predicted data moved: misses weighted by line size.  Every
+            # machine (base and scaled) keeps the shared line geometry,
+            # so the constants apply regardless of the capacity args.
+            from ..memsim.geometry import L1_LINE_BYTES, L2_LINE_BYTES
+
+            moved = l1m * L1_LINE_BYTES + l2m * L2_LINE_BYTES
+            entry["bytes"] = round(moved, 3)
+            total += moved
+        else:
+            total += l1m + l2m
+        per_size.append(entry)
     return total, per_size
 
 
@@ -352,8 +365,9 @@ def tune(request: TuneRequest) -> TuneResult:
             f"unknown objective {request.objective!r}; expected one of {OBJECTIVES}"
         )
     name, program, sizes, steps, machine_spec = _resolve_target(request)
-    l1_elems = machine_spec.l1_bytes // 8
-    l2_elems = machine_spec.l2_bytes // 8
+    geometry = CacheGeometry.from_spec(machine_spec)
+    l1_elems = geometry.l1_elems
+    l2_elems = geometry.l2_elems
     source_text = str(program)
 
     named_specs = [(level, PIPELINES[level], "named") for level in request.levels]

@@ -286,6 +286,18 @@ order of magnitude slower; flagged so the silent fallback is visible
 before a large measurement is launched.""",
 )
 _register(
+    "S501", Severity.WARNING,
+    "trace imported without geometry metadata",
+    """An external address stream was imported without line-size or
+element-size metadata (``repro trace import`` on a bare CSV address
+list).  The simulator falls back to the shared machine geometry
+(:mod:`repro.memsim.geometry`), which is correct for traces produced by
+this repo but arbitrary for a foreign tracer — miss counts and the
+bytes-moved report are only as meaningful as that assumption.  Export
+with ``repro trace export`` (or add the ``# repro-address-stream``
+metadata comment) to silence it.""",
+)
+_register(
     "S310", Severity.WARNING,
     "pass increased a symbolic reuse-distance bound",
     """Cross-checking static profiles before and after a pass found a

@@ -1,0 +1,61 @@
+"""The read-merge-rewrite discipline behind every ``BENCH_*.json``."""
+
+import json
+
+from repro.harness import merge_json_artifact
+
+
+class TestMergeJsonArtifact:
+    def test_fresh_file(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merged = merge_json_artifact(
+            path, {"adi": {"l2": 10}}, {"benchmark": "x"}
+        )
+        assert merged == {"adi": {"l2": 10}}
+        data = json.loads(path.read_text())
+        assert data == {"benchmark": "x", "programs": {"adi": {"l2": 10}}}
+
+    def test_merge_into_existing_file_keeps_other_entries(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmark": "old header",
+                    "programs": {"adi": {"l2": 10}, "swim": {"l2": 20}},
+                }
+            )
+        )
+        merged = merge_json_artifact(
+            path, {"swim": {"l2": 99}}, {"benchmark": "new header"}
+        )
+        # overwritten where keys collide, preserved where they don't
+        assert merged == {"adi": {"l2": 10}, "swim": {"l2": 99}}
+        data = json.loads(path.read_text())
+        assert data["benchmark"] == "new header"
+        assert data["programs"]["adi"] == {"l2": 10}
+        assert data["programs"]["swim"] == {"l2": 99}
+
+    def test_entries_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merge_json_artifact(path, {"zz": 1, "aa": 2, "mm": 3})
+        keys = list(json.loads(path.read_text())["programs"])
+        assert keys == sorted(keys)
+
+    def test_corrupt_existing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text("{not json at all")
+        merged = merge_json_artifact(path, {"adi": 1})
+        assert merged == {"adi": 1}
+
+    def test_wrong_shape_existing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps([1, 2, 3]))  # a list, not a mapping
+        merged = merge_json_artifact(path, {"adi": 1})
+        assert merged == {"adi": 1}
+
+    def test_custom_key(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        merge_json_artifact(path, {"a/noopt": {"x": 1}}, key="results")
+        merge_json_artifact(path, {"b/new": {"x": 2}}, key="results")
+        data = json.loads(path.read_text())
+        assert set(data["results"]) == {"a/noopt", "b/new"}

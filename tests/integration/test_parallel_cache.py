@@ -22,6 +22,7 @@ from repro.harness import (
 )
 from repro.lang import validate
 from repro.programs import registry
+from repro.stream import AddressStream
 
 SMALL = {"N": 40}
 
@@ -152,11 +153,13 @@ class TestTraceCache:
         assert removed == cache.info()["traces"] + 2  # all entries gone
         assert cache.info() == {"traces": 0, "results": 0, "tune": 0, "bytes": 0}
 
-    def test_roundtrip_arrays(self, tmp_path):
+    def test_roundtrip_stream(self, tmp_path):
         cache = TraceCache(tmp_path)
         addresses = np.arange(100, dtype=np.int64) * 8
         writes = (np.arange(100) % 3 == 0)
-        cache.store_trace("k" * 32, addresses, writes)
+        stream = AddressStream(addresses, writes)
+        cache.store_trace("k" * 32, stream)
         loaded = cache.load_trace("k" * 32)
-        assert np.array_equal(loaded[0], addresses)
-        assert np.array_equal(loaded[1], writes)
+        assert np.array_equal(loaded.addresses, addresses)
+        assert np.array_equal(loaded.writes, writes)
+        assert loaded.fingerprint() == stream.fingerprint()

@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test self-lint static-lint parallelism-lint smoke tune-check bandwidth-check benchmarks bench-codegen bench-tune bench-membw
+.PHONY: check lint test self-lint static-lint parallelism-lint coherence-lint smoke tune-check bandwidth-check benchmarks bench-codegen bench-tune bench-membw
 
-check: lint test self-lint static-lint parallelism-lint smoke tune-check bandwidth-check
+check: lint test self-lint static-lint parallelism-lint coherence-lint smoke tune-check bandwidth-check
 
 # ruff is optional in minimal environments; skip (loudly) when absent
 lint:
@@ -34,6 +34,22 @@ static-lint:
 # a definitive DOALL / reduction / serial verdict (no unknowns)
 parallelism-lint:
 	$(PYTHON) -m repro parallelism --all-apps --check
+
+# coherence gate: every registered program gets a static coherence
+# profile (invalidation misses, true/false sharing) without error, and
+# the checked-in lint baseline has no drift: regenerating it must be a
+# bit-for-bit no-op (refresh with `repro lint --static --all-apps
+# --write-baseline lint-baseline.json` when a change is intentional)
+coherence-lint:
+	$(PYTHON) -m repro coherence --all-apps > /dev/null
+	@$(PYTHON) -m repro lint --static --all-apps --write-baseline .lint-baseline.tmp.json > /dev/null; \
+	if ! cmp -s .lint-baseline.tmp.json lint-baseline.json; then \
+		echo "lint-baseline.json drift — current diagnostics differ from the checked-in baseline:"; \
+		diff -u lint-baseline.json .lint-baseline.tmp.json | head -40; \
+		rm -f .lint-baseline.tmp.json; exit 1; \
+	fi; \
+	rm -f .lint-baseline.tmp.json; \
+	echo "lint-baseline.json is drift-free"
 
 # pass-manager smoke: the pipeline registry enumerates, lints clean, and a
 # custom --passes pipeline compiles and simulates end to end

@@ -226,6 +226,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     if args.parallelism:
         print()
         print(_parallelism_table(program, results, args.threads))
+    if args.coherence:
+        print()
+        print(_coherence_table(program, results, args.threads))
     if args.timings:
         print()
         print(
@@ -272,6 +275,44 @@ def _parallelism_table(program, results, threads: int) -> str:
         headers, rows,
         title=f"parallelism & multicore prediction "
         f"({threads} threads, static schedule)",
+    )
+
+
+def _coherence_table(program, results, threads: int) -> str:
+    """Per-level predicted coherence behaviour for a report."""
+    from .lang import AnalysisError
+    from .static import analyze_coherence
+
+    target = program if isinstance(program, str) else program.name
+    steps = _lint_steps(target)
+    headers = (
+        "level", "invalidations", "true", "false",
+        "shared lines", "upgrades",
+    )
+    rows: list[list[object]] = []
+    for r in results:
+        if r.variant is None:
+            continue
+        try:
+            prof = analyze_coherence(
+                r.variant.program, dict(r.params), threads=threads,
+                steps=steps, witnesses=False,
+            )
+        except AnalysisError:
+            rows.append([r.level, "-", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            r.level,
+            prof.total_invalidations,
+            prof.true_invalidations,
+            prof.false_invalidations,
+            sum(a.shared_lines for a in prof.arrays),
+            prof.upgrades,
+        ])
+    return format_table(
+        headers, rows,
+        title=f"coherence prediction ({threads} threads, static schedule, "
+        f"line granularity)",
     )
 
 
@@ -882,6 +923,17 @@ def _lint_steps(target: str) -> int:
         return 1
 
 
+def _schedule_spec(spec: str) -> str:
+    """argparse type: validate an OpenMP schedule spec up front."""
+    from .static import parse_schedule
+
+    try:
+        parse_schedule(spec)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return spec
+
+
 def _diag_counts(bag) -> dict[str, int]:
     """Per-code diagnostic counts, the unit of the lint baseline."""
     counts: dict[str, int] = {}
@@ -934,7 +986,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if args.static:
             from .codegen.plan import lint_codegen
             from .static import lint_static
-            from .verify import lint_races
+            from .verify import lint_coherence, lint_races
 
             bag.extend(
                 lint_static(
@@ -943,6 +995,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
             )
             bag.extend(lint_codegen(program))
             bag.extend(lint_races(program))
+            bag.extend(
+                lint_coherence(program, steps=_lint_steps(target))
+            )
         bags[program.name] = bag
 
     if args.write_baseline:
@@ -1122,6 +1177,54 @@ def cmd_parallelism(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_coherence(args: argparse.Namespace) -> int:
+    """Static coherence prediction: invalidation misses, sharing, witnesses."""
+    from .lang import AnalysisError
+    from .static import analyze_coherence
+
+    if args.all_apps:
+        from .programs import STUDY_PROGRAMS
+
+        targets = sorted(set(APPLICATIONS) | set(STUDY_PROGRAMS))
+    elif args.target:
+        targets = [args.target]
+    else:
+        raise SystemExit(
+            "coherence needs a program (file or app name) or --all-apps"
+        )
+
+    params = _parse_params(args.param) or None
+    payloads: list[dict] = []
+    for target in targets:
+        program = _load_target(target)
+        if args.level:
+            program = compile_variant(program, args.level).program
+        steps = args.steps if args.steps is not None else _lint_steps(target)
+        try:
+            profile = analyze_coherence(
+                program,
+                params,
+                threads=args.threads,
+                schedule=args.schedule,
+                steps=steps,
+            )
+        except AnalysisError as exc:
+            print(f"coherence {program.name}: skipped ({exc})")
+            if target != targets[-1]:
+                print()
+            continue
+        if args.json:
+            payloads.append(profile.as_dict())
+            continue
+        print(profile.render())
+        if target != targets[-1]:
+            print()
+    if args.json:
+        print(json.dumps(payloads[0] if len(payloads) == 1 else payloads,
+                         indent=2))
     return 0
 
 
@@ -1448,8 +1551,14 @@ def build_parser() -> argparse.ArgumentParser:
         "miss table (private L1 per thread, shared L2)",
     )
     report.add_argument(
+        "--coherence", action="store_true",
+        help="append the per-level coherence table (predicted invalidation "
+        "misses, true/false sharing lines)",
+    )
+    report.add_argument(
         "--threads", type=int, default=4,
-        help="thread count for the --parallelism prediction (default 4)",
+        help="thread count for the --parallelism and --coherence "
+        "predictions (default 4)",
     )
     report.set_defaults(fn=cmd_report)
 
@@ -1659,8 +1768,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also predict per-thread private + shared cache reuse at T threads",
     )
     par.add_argument(
-        "--schedule", choices=("static", "dynamic"), default="static",
-        help="iteration schedule assumed by the multicore prediction",
+        "--schedule", type=_schedule_spec, default="static",
+        help="OpenMP schedule assumed by the multicore prediction "
+        "(static, static,k, guided, dynamic)",
     )
     par.add_argument("--json", action="store_true", help="JSON output")
     par.add_argument(
@@ -1668,6 +1778,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any axis verdict is 'unknown' (CI gate)",
     )
     par.set_defaults(fn=cmd_parallelism)
+
+    coh = sub.add_parser(
+        "coherence",
+        help="static coherence prediction: invalidation misses, true/false "
+        "sharing at cache-line granularity, concrete witnesses",
+        parents=[params_args],
+    )
+    coh.add_argument(
+        "target", nargs="?", help="registry app name or source file"
+    )
+    coh.add_argument(
+        "--all-apps", action="store_true",
+        help="analyze every bundled application instead of one target",
+    )
+    coh.add_argument(
+        "--level", default=None,
+        help="optimization level to apply before analysis (default: none)",
+    )
+    coh.add_argument(
+        "--threads", type=int, default=4,
+        help="thread count to model (default 4)",
+    )
+    coh.add_argument(
+        "--schedule", type=_schedule_spec, default="static",
+        help="OpenMP schedule (static, static,k, guided, dynamic)",
+    )
+    coh.add_argument("--json", action="store_true", help="JSON output")
+    coh.set_defaults(fn=cmd_coherence)
 
     verify = sub.add_parser(
         "verify-pass",
@@ -1745,8 +1883,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="thread count for --objective parallel-misses (default 4)",
     )
     tune.add_argument(
-        "--schedule", choices=("static", "dynamic"), default="static",
-        help="iteration schedule assumed by the multicore objective",
+        "--schedule", type=_schedule_spec, default="static",
+        help="OpenMP schedule assumed by the multicore objective "
+        "(static, static,k, guided, dynamic)",
     )
     tune.add_argument(
         "--enablers", default=",".join(TUNE_ENABLERS), metavar="P1,P2,...",

@@ -1,13 +1,15 @@
 """Interleaved multi-thread trace generation (OpenMP-style execution).
 
-The dynamic counterpart of ``repro.static.multicore``: execute a program
-the way a ``T``-thread OpenMP runtime would — every top-level nest whose
-outermost axis is parallel (DOALL or reduction per the static
-parallelism analyzer) is block-partitioned over its outer range, each
-thread traces its own chunk, and the per-chunk streams are merged
-round-robin ``block`` accesses at a time.  Serial nests run entirely on
-thread 0.  An implicit barrier separates consecutive nests (and steps),
-exactly like OpenMP's parallel-for join.
+The dynamic counterpart of ``repro.static.multicore`` and
+``repro.static.coherence``: execute a program the way a ``T``-thread
+OpenMP runtime would — every top-level nest whose outermost axis is
+parallel (DOALL or reduction per the static parallelism analyzer) is
+partitioned over its outer range by an OpenMP schedule
+(:mod:`repro.static.schedule`: ``static``, ``static,k``, ``guided``,
+``dynamic``), each thread traces its own chunks, and the per-chunk
+streams are merged round-robin ``block`` accesses at a time.  Serial
+nests run entirely on thread 0.  An implicit barrier separates
+consecutive nests (and steps), exactly like OpenMP's parallel-for join.
 
 Two views come out of a run, both as typed
 :class:`~repro.stream.AddressStream` objects in element units (the
@@ -21,13 +23,12 @@ consumers see the key column directly):
     each thread's own stream (its chunks plus, for thread 0, the serial
     nests) — the *private*-cache view.
 
-Scheduling: ``static`` gives chunk ``t`` to thread ``t`` on every
-invocation (affinity preserved, so cross-nest reuse stays on-thread);
-``dynamic`` rotates the assignment by one on each parallel nest
-invocation — a deterministic stand-in for a work-stealing runtime that
-destroys chunk affinity without destroying the partition.
+Both views carry the interpreter's write mask, and the merged view also
+records which thread issued every access (``merged_threads``), so the
+per-line MSI coherence oracle (:mod:`repro.memsim.coherence`) can replay
+invalidations over the exact interleaving.
 
-Tracing a nest per (step, thread) re-uses the ordinary
+Tracing a nest per (chunk, thread) re-uses the ordinary
 :func:`trace_program` machinery on a single-statement program; all array
 declarations are kept, so ``global_keys`` agree across every segment.
 """
@@ -56,55 +57,55 @@ class InterleavedRun:
     parallel_nests: tuple[int, ...]
     merged: AddressStream  # global keys, round-robin interleaved
     per_thread: tuple[AddressStream, ...]  # each thread's private stream
+    #: issuing thread of every merged access (int32, aligned with
+    #: ``merged``) — the coherence oracle's third column
+    merged_threads: np.ndarray
 
     @property
     def total(self) -> int:
         return len(self.merged)
 
 
+def _merge_runs(
+    lengths: Sequence[int], block: int
+) -> list[tuple[int, int, int]]:
+    """Round-robin drain order over streams of the given lengths, as
+    ``(stream_index, start, stop)`` runs of up to ``block`` accesses.
+
+    Delegates to :func:`repro.static.schedule.round_robin_order` — the
+    one definition of the interleaving contract the static coherence
+    analyzer also orders by.
+    """
+    from ..static.schedule import round_robin_order
+
+    return round_robin_order(lengths, block)
+
+
 def round_robin(
     streams: Sequence[np.ndarray], block: int = 1
 ) -> np.ndarray:
-    """Merge streams round-robin, ``block`` elements per turn.
-
-    Streams of unequal length simply drop out as they drain (threads
-    with smaller chunks finish early and wait at the barrier).
-    """
+    """Merge streams round-robin, ``block`` elements per turn."""
+    live = [np.asarray(s, dtype=np.int64) for s in streams if len(s)]
     if block < 1:
         raise ValueError(f"block must be >= 1, got {block}")
-    live = [np.asarray(s, dtype=np.int64) for s in streams if len(s)]
     if not live:
         return np.empty(0, dtype=np.int64)
     if len(live) == 1:
         return live[0]
     out = np.empty(sum(len(s) for s in live), dtype=np.int64)
-    pos = [0] * len(live)
     filled = 0
-    while filled < out.size:
-        for k, s in enumerate(live):
-            p = pos[k]
-            if p >= len(s):
-                continue
-            q = min(p + block, len(s))
-            out[filled : filled + (q - p)] = s[p:q]
-            filled += q - p
-            pos[k] = q
+    for k, p, q in _merge_runs([len(s) for s in live], block):
+        out[filled : filled + (q - p)] = live[k][p:q]
+        filled += q - p
     return out
 
 
 def _chunks(lo: int, hi: int, threads: int) -> list[tuple[int, int]]:
     """OpenMP static block partition of the inclusive range [lo, hi]."""
-    n = hi - lo + 1
-    if n <= 0:
-        return []
-    size = -(-n // threads)  # ceil
-    out = []
-    for t in range(threads):
-        a = lo + t * size
-        b = min(hi, a + size - 1)
-        if a <= b:
-            out.append((a, b))
-    return out
+    from ..static.schedule import schedule_chunks
+
+    per_thread = schedule_chunks(lo, hi, threads, "static")
+    return [c[0] for c in per_thread if c]
 
 
 def interleave_trace(
@@ -124,11 +125,12 @@ def interleave_trace(
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
-    if schedule not in ("static", "dynamic"):
-        raise ValueError(f"unknown schedule {schedule!r}")
+    # lazy: repro.static never imports the interpreter, so this
+    # direction is the acyclic one — but keep it out of module scope
+    from ..static.schedule import parse_schedule
+
+    parse_schedule(schedule)  # validate the spec before tracing
     if parallel_nests is None:
-        # lazy: repro.static never imports the interpreter, so this
-        # direction is the acyclic one — but keep it out of module scope
         from ..static.parallelism import analyze_parallelism
 
         parallel_nests = analyze_parallelism(
@@ -142,8 +144,11 @@ def interleave_trace(
         threads=threads,
         schedule=schedule,
     ):
-        merged: list[np.ndarray] = []
-        private: list[list[np.ndarray]] = [[] for _ in range(threads)]
+        merged_keys: list[np.ndarray] = []
+        merged_writes: list[np.ndarray] = []
+        merged_tids: list[np.ndarray] = []
+        priv_keys: list[list[np.ndarray]] = [[] for _ in range(threads)]
+        priv_writes: list[list[np.ndarray]] = [[] for _ in range(threads)]
         invocation = 0
         for _ in range(steps):
             for k, stmt in enumerate(program.body):
@@ -152,64 +157,133 @@ def interleave_trace(
                     and k in parallel
                     and isinstance(stmt, Loop)
                 ):
-                    keys = _parallel_nest_keys(
+                    columns = _parallel_nest_columns(
                         program, stmt, params, threads, schedule, invocation
                     )
                     invocation += 1
-                    for t, stream in enumerate(keys):
-                        if len(stream):
-                            private[t].append(stream)
-                    merged.append(round_robin(keys, block))
+                    for t, (keys, writes) in enumerate(columns):
+                        if len(keys):
+                            priv_keys[t].append(keys)
+                            priv_writes[t].append(writes)
+                    mk = np.empty(
+                        sum(len(c[0]) for c in columns), dtype=np.int64
+                    )
+                    mw = np.empty(len(mk), dtype=bool)
+                    mt = np.empty(len(mk), dtype=np.int32)
+                    filled = 0
+                    live = [
+                        (t, c) for t, c in enumerate(columns) if len(c[0])
+                    ]
+                    for i, p, q in _merge_runs(
+                        [len(c[0]) for _, c in live], block
+                    ):
+                        t, (ck, cw) = live[i]
+                        mk[filled : filled + (q - p)] = ck[p:q]
+                        mw[filled : filled + (q - p)] = cw[p:q]
+                        mt[filled : filled + (q - p)] = t
+                        filled += q - p
+                    merged_keys.append(mk)
+                    merged_writes.append(mw)
+                    merged_tids.append(mt)
                 else:
-                    keys = trace_program(
+                    trace = trace_program(
                         program.with_body((stmt,)), params
-                    ).global_keys()
+                    )
+                    keys = trace.global_keys()
                     if len(keys):
-                        private[0].append(keys)
-                        merged.append(keys)
-        merged_keys = (
-            np.concatenate(merged) if merged else np.empty(0, np.int64)
+                        writes = np.asarray(trace.writes, dtype=bool)
+                        priv_keys[0].append(keys)
+                        priv_writes[0].append(writes)
+                        merged_keys.append(keys)
+                        merged_writes.append(writes)
+                        merged_tids.append(
+                            np.zeros(len(keys), dtype=np.int32)
+                        )
+        all_keys = (
+            np.concatenate(merged_keys)
+            if merged_keys
+            else np.empty(0, np.int64)
+        )
+        all_writes = (
+            np.concatenate(merged_writes)
+            if merged_writes
+            else np.empty(0, bool)
+        )
+        all_tids = (
+            np.concatenate(merged_tids)
+            if merged_tids
+            else np.empty(0, np.int32)
         )
         per_thread = tuple(
-            AddressStream.from_keys(
+            _elem_stream(
                 np.concatenate(p) if p else np.empty(0, np.int64),
+                np.concatenate(w) if w else np.empty(0, bool),
                 name=f"{program.name}/t{t}",
             )
-            for t, p in enumerate(private)
+            for t, (p, w) in enumerate(zip(priv_keys, priv_writes))
         )
         metrics.inc("trace.interleaved_runs")
-        metrics.inc("trace.interleaved_accesses", int(merged_keys.size))
+        metrics.inc("trace.interleaved_accesses", int(all_keys.size))
         return InterleavedRun(
             program_name=program.name,
             threads=threads,
             schedule=schedule,
             block=block,
             parallel_nests=tuple(sorted(parallel)),
-            merged=AddressStream.from_keys(
-                merged_keys, name=f"{program.name}/shared"
+            merged=_elem_stream(
+                all_keys, all_writes, name=f"{program.name}/shared"
             ),
             per_thread=per_thread,
+            merged_threads=all_tids,
         )
 
 
-def _parallel_nest_keys(
+def _elem_stream(
+    keys: np.ndarray, writes: np.ndarray, name: str
+) -> AddressStream:
+    """An element-unit stream with the write column preserved."""
+    from ..memsim.geometry import ELEM_BYTES
+    from ..stream.stream import StreamMeta
+
+    meta = StreamMeta(
+        name=name, source="interleave", unit="elements", elem_bytes=ELEM_BYTES
+    )
+    return AddressStream(keys, writes, meta=meta)
+
+
+def _parallel_nest_columns(
     program: Program,
     loop: Loop,
     params: Mapping[str, int],
     threads: int,
     schedule: str,
     invocation: int,
-) -> list[np.ndarray]:
-    """Per-thread key streams of one partitioned parallel nest."""
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-thread ``(keys, writes)`` columns of one partitioned nest.
+
+    A thread's chunks execute back-to-back in chunk order — for
+    ``static,k`` and ``guided`` that is the order the deterministic
+    dealer hands them out.
+    """
+    from ..static.schedule import schedule_chunks
+
     env = dict(params)
     lo = int(loop.lower.affine().evaluate(env))
     hi = int(loop.upper.affine().evaluate(env))
-    chunks = _chunks(lo, hi, threads)
-    streams = [np.empty(0, dtype=np.int64) for _ in range(threads)]
-    for c, (a, b) in enumerate(chunks):
-        t = (c + invocation) % threads if schedule == "dynamic" else c
-        sub = replace(loop, lower=a, upper=b)
-        streams[t] = trace_program(
-            program.with_body((sub,)), params
-        ).global_keys()
-    return streams
+    per_thread = schedule_chunks(lo, hi, threads, schedule, invocation)
+    columns: list[tuple[np.ndarray, np.ndarray]] = []
+    for chunks in per_thread:
+        keys: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        for a, b in chunks:
+            sub = replace(loop, lower=a, upper=b)
+            trace = trace_program(program.with_body((sub,)), params)
+            keys.append(trace.global_keys())
+            writes.append(np.asarray(trace.writes, dtype=bool))
+        columns.append(
+            (
+                np.concatenate(keys) if keys else np.empty(0, np.int64),
+                np.concatenate(writes) if writes else np.empty(0, bool),
+            )
+        )
+    return columns

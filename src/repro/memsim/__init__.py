@@ -14,6 +14,7 @@ from .bandwidth import (
     bandwidth_row,
     bandwidth_rows,
 )
+from .coherence import CoherenceLevel, MSIResult, simulate_msi
 from .dram import DRAMConfig, DRAMResult, simulate_dram
 from .fastsim import fa_miss_counts
 from .geometry import (
@@ -56,6 +57,7 @@ __all__ = [
     "CacheGeometry",
     "CacheLevel",
     "CacheResult",
+    "CoherenceLevel",
     "DRAMConfig",
     "DRAMLevel",
     "DRAMResult",
@@ -66,6 +68,7 @@ __all__ = [
     "L2_LINE_BYTES",
     "LevelResult",
     "MACHINES",
+    "MSIResult",
     "MachineConfig",
     "MemStats",
     "MemoryHierarchy",
@@ -88,6 +91,7 @@ __all__ = [
     "simulate_cache_writeback",
     "simulate_dram",
     "simulate_hierarchy",
+    "simulate_msi",
     "simulate_stream",
     "stats_from_hierarchy",
 ]

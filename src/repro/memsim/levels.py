@@ -47,6 +47,9 @@ class LevelResult:
     miss: Optional[np.ndarray] = field(repr=False, default=None)
     #: device-specific extras (e.g. the DRAM row-buffer outcome)
     dram: Optional[DRAMResult] = None
+    #: MSI coherence extras (an :class:`~repro.memsim.coherence.MSIResult`
+    #: when the level is a :class:`~repro.memsim.coherence.CoherenceLevel`)
+    msi: Optional[object] = None
 
     @property
     def miss_rate(self) -> float:

@@ -11,6 +11,12 @@ Layering: depends on ``lang``, ``locality`` (result types only), ``obs``
 and ``verify`` (diagnostics); nothing here imports the interpreter.
 """
 
+from .coherence import (
+    ArraySharing,
+    CoherenceProfile,
+    SharingWitness,
+    analyze_coherence,
+)
 from .dependence_test import attainable, lane_conflict, solve_sum
 from .lints import lint_profile, lint_static
 from .model import LoopCtx, StaticModel, StaticRef, build_model
@@ -30,9 +36,20 @@ from .poly import Poly
 from .profile import EvaluatedClass, StaticProfile, analyze_program
 from .regions import Hull, footprint_by_array, ref_hull, union_hulls
 from .reuse import ClassProfile, Component, attribute_model, solve_delta
+from .schedule import (
+    parse_schedule,
+    preserves_affinity,
+    round_robin_order,
+    schedule_assignments,
+    schedule_chunks,
+    thread_span,
+)
 
 __all__ = [
+    "ArraySharing",
     "AxisVerdict",
+    "CoherenceProfile",
+    "SharingWitness",
     "ClassProfile",
     "Component",
     "EvaluatedClass",
@@ -45,6 +62,7 @@ __all__ = [
     "StaticModel",
     "StaticProfile",
     "StaticRef",
+    "analyze_coherence",
     "analyze_parallelism",
     "analyze_program",
     "attainable",
@@ -55,9 +73,15 @@ __all__ = [
     "lane_conflict",
     "lint_profile",
     "lint_static",
+    "parse_schedule",
     "predict_multicore",
     "predict_program_multicore",
+    "preserves_affinity",
     "ref_hull",
+    "round_robin_order",
+    "schedule_assignments",
+    "schedule_chunks",
     "solve_delta",
+    "thread_span",
     "union_hulls",
 ]

@@ -1,0 +1,1178 @@
+"""Static coherence and false-sharing analysis (line-granularity model).
+
+The multicore reuse model (:mod:`repro.static.multicore`) predicts
+capacity behaviour; this module predicts the *coherence* component a
+multi-thread run adds on top: invalidation misses, classified as
+
+* **true sharing** — two threads touch the same element, at least one
+  writing it (the value actually flows between cores); a DOALL axis
+  cannot true-share within one nest (that is what the race analyzer
+  proves), so true sharing is a *cross-nest* phenomenon: the producing
+  nest was partitioned over a different axis than the consumer;
+* **false sharing** — two threads touch *distinct* elements that live
+  on the same cache line; the line ping-pongs even though no value
+  flows.  The canonical cure is padding the leading dimension to a
+  whole number of lines, which the R520 lint suggests.
+
+The analysis is fully static — no interpreter run.  It enumerates each
+reference's accesses from the affine loop model (the same tier the
+parallelism analyzer's exhaustive checker uses), partitions every
+parallel nest across threads with the shared schedule machinery
+(:mod:`repro.static.schedule`), orders the per-thread streams with the
+same round-robin drain contract the dynamic replay uses, and replays
+the merged stream through the owner-tracking MSI automaton — the exact
+contract of the :mod:`repro.memsim.coherence` oracle, which is why
+invalidation totals cross-validate exactly whenever the enumeration
+matches the tracer (DESIGN §10).
+
+Two screens keep the line-level work focused, both built on the
+existing machinery:
+
+* a **hull screen**: per-thread linearized footprint intervals (the
+  rectangular hull of each reference restricted to a thread's chunk,
+  widened by a line) prove most arrays are never line-shared across
+  threads at all — they are skipped by the sharing classifier;
+* a **dependence screen**: :func:`repro.static.dependence_test.attainable`
+  over cross-thread reference pairs proves when no element can be
+  touched by two different threads — every line overlap of such an
+  array is false sharing by construction.
+
+Witnesses are concrete: thread pair, the two global element keys and
+their offsets within the shared line, and the loop-variable bindings of
+the two colliding iterations (recovered by a bounded re-walk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..lang import Program
+from ..lang.errors import AnalysisError
+from ..lang.expr import ArrayRef, array_reads
+from ..lang.stmt import Assign, CallStmt, Guard, Loop, Stmt
+from ..obs import metrics, span
+from .model import StaticRef, build_model
+from .multicore import _ref_box, _scope_ranges
+from .parallelism import (
+    ParallelismProfile,
+    _Unsupported,
+    analyze_parallelism,
+    bind_params,
+)
+from .schedule import (
+    parse_schedule,
+    round_robin_order,
+    schedule_chunks,
+)
+
+#: enumeration ceiling: programs whose modeled access count exceeds this
+#: raise (callers degrade gracefully — the tuner falls back to the
+#: capacity-only objective)
+DEFAULT_MAX_ACCESSES = 8_000_000
+
+#: how many sharing witnesses the profile keeps
+MAX_WITNESSES = 8
+
+#: iteration budget for recovering a witness's loop-variable bindings
+_WITNESS_WALK_CAP = 250_000
+
+
+# -- result types -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharingWitness:
+    """One concrete cross-thread sharing event on one cache line."""
+
+    array: str
+    line: int  # global line id (global key // line_elems)
+    kind: str  # "true" | "false"
+    thread_a: int  # the thread that held the line first
+    thread_b: int  # the thread whose access invalidated / missed
+    elem_a: int  # global element key thread_a touched
+    elem_b: int  # global element key thread_b touched
+    offset_a: int  # element offset of elem_a within the line
+    offset_b: int
+    #: loop-variable bindings of the two iterations (empty when the
+    #: bounded recovery walk did not reach the access)
+    iter_a: tuple[tuple[str, int], ...] = ()
+    iter_b: tuple[tuple[str, int], ...] = ()
+
+    def render(self) -> str:
+        def env(bindings: tuple[tuple[str, int], ...]) -> str:
+            if not bindings:
+                return "(?)"
+            return "(" + ", ".join(f"{k}={v}" for k, v in bindings) + ")"
+
+        what = (
+            "same element"
+            if self.kind == "true"
+            else f"distinct elements +{self.offset_a}/+{self.offset_b}"
+        )
+        return (
+            f"{self.kind} sharing on {self.array} line {self.line}: "
+            f"t{self.thread_a} @{env(self.iter_a)} vs "
+            f"t{self.thread_b} @{env(self.iter_b)} — {what}"
+        )
+
+
+@dataclass(frozen=True)
+class ArraySharing:
+    """Per-array sharing summary at line granularity."""
+
+    array: str
+    shared_lines: int  # lines touched by >= 2 threads
+    true_lines: int  # shared lines with a cross-thread element write
+    false_lines: int  # shared+written lines with disjoint elements
+    invalidations: int
+    true_invalidations: int
+    false_invalidations: int
+
+
+@dataclass(frozen=True)
+class CoherenceProfile:
+    """Predicted coherence behaviour of one multi-thread execution."""
+
+    program_name: str
+    params: tuple[tuple[str, int], ...]
+    threads: int
+    schedule: str
+    steps: int
+    line_elems: int
+    line_bytes: int
+    parallel_nests: tuple[int, ...]
+    accesses: int
+    #: per-thread compulsory line misses (first touches)
+    cold: tuple[int, ...]
+    #: per-thread invalidation misses
+    invalidations: tuple[int, ...]
+    #: writes that invalidated at least one other thread's copy
+    upgrades: int
+    arrays: tuple[ArraySharing, ...]
+    witnesses: tuple[SharingWitness, ...]
+    #: arrays the hull screen proved line-private (never shared)
+    screened_out: tuple[str, ...]
+    #: arrays the dependence screen proved element-private (any line
+    #: overlap is false sharing by construction)
+    false_only: tuple[str, ...] = ()
+
+    @property
+    def total_cold(self) -> int:
+        return int(sum(self.cold))
+
+    @property
+    def total_invalidations(self) -> int:
+        return int(sum(self.invalidations))
+
+    @property
+    def true_invalidations(self) -> int:
+        return sum(a.true_invalidations for a in self.arrays)
+
+    @property
+    def false_invalidations(self) -> int:
+        return sum(a.false_invalidations for a in self.arrays)
+
+    def sharing_arrays(self) -> tuple[ArraySharing, ...]:
+        return tuple(a for a in self.arrays if a.shared_lines)
+
+    def render(self) -> str:
+        size = ", ".join(f"{k}={v}" for k, v in self.params)
+        lines = [
+            f"coherence prediction: {self.program_name} at {size} — "
+            f"{self.threads} threads, {self.schedule} schedule, "
+            f"{self.line_bytes}B lines",
+            f"  accesses: {self.accesses} "
+            f"(cold lines: {self.total_cold}, "
+            f"invalidation misses: {self.total_invalidations}, "
+            f"upgrades: {self.upgrades})",
+            f"  invalidations per thread: "
+            f"{', '.join(str(v) for v in self.invalidations)}",
+        ]
+        shared = self.sharing_arrays()
+        if shared:
+            lines.append("  shared arrays:")
+            for a in sorted(
+                shared, key=lambda s: -s.invalidations
+            ):
+                lines.append(
+                    f"    {a.array}: {a.shared_lines} shared lines "
+                    f"({a.true_lines} true, {a.false_lines} false), "
+                    f"{a.invalidations} invalidations "
+                    f"({a.true_invalidations} true, "
+                    f"{a.false_invalidations} false)"
+                )
+        else:
+            lines.append("  no cross-thread line sharing")
+        if self.screened_out:
+            lines.append(
+                f"  hull screen proved private: "
+                f"{', '.join(self.screened_out)}"
+            )
+        for w in self.witnesses:
+            lines.append(f"  witness: {w.render()}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "program": self.program_name,
+            "params": dict(self.params),
+            "threads": self.threads,
+            "schedule": self.schedule,
+            "steps": self.steps,
+            "line_bytes": self.line_bytes,
+            "accesses": self.accesses,
+            "cold": list(self.cold),
+            "invalidations": list(self.invalidations),
+            "total_invalidations": self.total_invalidations,
+            "true_invalidations": self.true_invalidations,
+            "false_invalidations": self.false_invalidations,
+            "upgrades": self.upgrades,
+            "arrays": [
+                {
+                    "array": a.array,
+                    "shared_lines": a.shared_lines,
+                    "true_lines": a.true_lines,
+                    "false_lines": a.false_lines,
+                    "invalidations": a.invalidations,
+                    "true_invalidations": a.true_invalidations,
+                    "false_invalidations": a.false_invalidations,
+                }
+                for a in self.arrays
+            ],
+            "witnesses": [w.render() for w in self.witnesses],
+            "screened_out": list(self.screened_out),
+        }
+
+
+# -- the static access enumerator ---------------------------------------------
+
+
+class _NonFlat(Exception):
+    """Internal: a loop body resists vectorization; take the slow path."""
+
+
+class _Walker:
+    """Enumerates (global key, is_write) columns from the affine model.
+
+    Mirrors the tracer's conventions exactly: arrays laid back-to-back
+    in declaration order, elements column-major (first subscript
+    fastest, 1-based), reads in expression order then the write, body
+    statements in order, iterations ascending.  Innermost loops whose
+    bodies are guard/assign-only vectorize over numpy; everything else
+    walks in Python.
+    """
+
+    def __init__(self, program: Program, env: Mapping[str, int]) -> None:
+        self.program = program
+        self.env = dict(env)
+        self.strides: dict[str, tuple[int, ...]] = {}
+        self.bases: dict[str, int] = {}
+        acc = 0
+        for decl in program.arrays:
+            shape = decl.shape(self.env)
+            strides = []
+            size = 1
+            for extent in shape:  # column-major: first subscript fastest
+                strides.append(size)
+                size *= extent
+            self.strides[decl.name] = tuple(strides)
+            self.bases[decl.name] = acc
+            acc += size
+        self._forms: dict[int, tuple] = {}
+
+    # the linearized global-key affine of one AST reference
+    def _linform(self, ref: ArrayRef):
+        cached = self._forms.get(id(ref))
+        if cached is not None:
+            return cached
+        strides = self.strides[ref.array]
+        const = Fraction(self.bases[ref.array])
+        terms: dict[str, Fraction] = {}
+        for k, sub in enumerate(ref.indices):
+            a = sub.affine()
+            s = strides[k]
+            const += a.const * s - s  # subscripts are 1-based
+            for n, c in a.coeffs:
+                terms[n] = terms.get(n, Fraction(0)) + c * s
+        form = (const, tuple(terms.items()))
+        self._forms[id(ref)] = form
+        return form
+
+    def _eval(self, form, env: Mapping[str, int]) -> int:
+        const, terms = form
+        total = const
+        for n, c in terms:
+            total += c * env[n]
+        return int(total)  # truncate, like the interpreter
+
+    def _assign_refs(self, stmt: Assign) -> list[tuple[object, bool]]:
+        cached = self._forms.get(-id(stmt))
+        if cached is None:
+            refs: list[tuple[object, bool]] = [
+                (self._linform(r), False) for r in array_reads(stmt.expr)
+            ]
+            if isinstance(stmt.target, ArrayRef):
+                refs.append((self._linform(stmt.target), True))
+            cached = tuple(refs)
+            self._forms[-id(stmt)] = cached
+        return list(cached)
+
+    # -- public entry ---------------------------------------------------
+
+    def nest(
+        self,
+        stmt: Stmt,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The (keys, writes) columns of one top-level statement, with
+        the outermost loop optionally restricted to [lo, hi]."""
+        keys: list[np.ndarray] = []
+        writes: list[np.ndarray] = []
+        pend_k: list[int] = []
+        pend_w: list[bool] = []
+
+        def flush() -> None:
+            if pend_k:
+                keys.append(np.asarray(pend_k, dtype=np.int64))
+                writes.append(np.asarray(pend_w, dtype=bool))
+                pend_k.clear()
+                pend_w.clear()
+
+        self._emit(
+            stmt, dict(self.env), keys, writes, pend_k, pend_w, flush,
+            bounds=(lo, hi) if lo is not None else None,
+        )
+        flush()
+        if not keys:
+            return np.empty(0, np.int64), np.empty(0, bool)
+        return np.concatenate(keys), np.concatenate(writes)
+
+    # -- walk -----------------------------------------------------------
+
+    def _emit(
+        self, stmt, env, keys, writes, pend_k, pend_w, flush, bounds=None
+    ) -> None:
+        if isinstance(stmt, Assign):
+            for form, wr in self._assign_refs(stmt):
+                pend_k.append(self._eval(form, env))
+                pend_w.append(wr)
+            return
+        if isinstance(stmt, Guard):
+            body = (
+                stmt.body if self._member(stmt, env) else stmt.else_body
+            )
+            for s in body:
+                self._emit(s, env, keys, writes, pend_k, pend_w, flush)
+            return
+        if isinstance(stmt, Loop):
+            if bounds is not None:
+                lo, hi = bounds
+            else:
+                lo = int(stmt.lower.affine().evaluate(env))
+                hi = int(stmt.upper.affine().evaluate(env))
+            if hi < lo:
+                return
+            try:
+                cols = self._flat_columns(stmt, lo, hi, env)
+            except _NonFlat:
+                cols = None
+            if cols is not None:
+                flush()
+                k, w = cols
+                if len(k):
+                    keys.append(k)
+                    writes.append(w)
+                return
+            for v in range(lo, hi + 1):
+                env[stmt.index] = v
+                for s in stmt.body:
+                    self._emit(
+                        s, env, keys, writes, pend_k, pend_w, flush
+                    )
+            env.pop(stmt.index, None)
+            return
+        if isinstance(stmt, CallStmt):
+            raise AnalysisError(
+                "coherence analysis requires inlined programs; "
+                f"found call to {stmt.proc!r}"
+            )
+        raise AnalysisError(
+            f"cannot enumerate statement {type(stmt).__name__}"
+        )
+
+    def _member(self, guard: Guard, env: Mapping[str, int]) -> bool:
+        v = env[guard.index]
+        for iv in guard.intervals:
+            lo = iv.lower.evaluate(env)
+            hi = iv.upper.evaluate(env)
+            if lo <= v <= hi:
+                return True
+        return False
+
+    def _flat_columns(self, loop: Loop, lo: int, hi: int, env):
+        """Vectorized emission of a loop with no nested loops.
+
+        Builds one (iterations × refs) key matrix plus an active mask
+        from guard membership, flattened iteration-major — exactly the
+        per-iteration statement order of the Python walk.
+        """
+        ivec = np.arange(lo, hi + 1, dtype=np.int64)
+        cols: list[tuple[np.ndarray, bool, Optional[np.ndarray]]] = []
+        self._flat_collect(loop.body, loop.index, ivec, env, None, cols)
+        if not cols:
+            return np.empty(0, np.int64), np.empty(0, bool)
+        n = len(ivec)
+        r = len(cols)
+        mat = np.empty((n, r), dtype=np.int64)
+        wr = np.empty(r, dtype=bool)
+        mask = np.ones((n, r), dtype=bool)
+        for j, (col, is_w, cond) in enumerate(cols):
+            mat[:, j] = col
+            wr[j] = is_w
+            if cond is not None:
+                mask[:, j] = cond
+        flat_mask = mask.reshape(-1)
+        flat_keys = mat.reshape(-1)
+        flat_writes = np.tile(wr, n)
+        if flat_mask.all():
+            return flat_keys, flat_writes
+        return flat_keys[flat_mask], flat_writes[flat_mask]
+
+    def _flat_collect(self, body, var, ivec, env, cond, cols) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                for form, is_w in self._assign_refs(stmt):
+                    cols.append(
+                        (self._flat_eval(form, var, ivec, env), is_w, cond)
+                    )
+            elif isinstance(stmt, Guard):
+                member = self._flat_member(stmt, var, ivec, env)
+                take = member if cond is None else (cond & member)
+                self._flat_collect(
+                    stmt.body, var, ivec, env, take, cols
+                )
+                if stmt.else_body:
+                    skip = (
+                        ~member if cond is None else (cond & ~member)
+                    )
+                    self._flat_collect(
+                        stmt.else_body, var, ivec, env, skip, cols
+                    )
+            elif isinstance(stmt, Loop):
+                raise _NonFlat()
+            else:
+                raise _NonFlat()
+
+    def _flat_eval(self, form, var, ivec, env) -> np.ndarray:
+        const, terms = form
+        base = const
+        coeff = Fraction(0)
+        for n, c in terms:
+            if n == var:
+                coeff = c
+            else:
+                base += c * env[n]
+        if base.denominator != 1 or coeff.denominator != 1:
+            raise _NonFlat()  # fractional: fall back to exact Fractions
+        return int(base) + int(coeff) * ivec
+
+    def _flat_member(self, guard: Guard, var, ivec, env) -> np.ndarray:
+        if guard.index != var:
+            scalar = self._member(guard, env)
+            return np.full(len(ivec), scalar, dtype=bool)
+        member = np.zeros(len(ivec), dtype=bool)
+        for iv in guard.intervals:
+            lo_a, hi_a = iv.lower, iv.upper
+            if any(n == var for n, _ in lo_a.coeffs) or any(
+                n == var for n, _ in hi_a.coeffs
+            ):
+                raise _NonFlat()
+            lo = lo_a.evaluate(env)
+            hi = hi_a.evaluate(env)
+            member |= (ivec >= lo) & (ivec <= hi)
+        return member
+
+
+# -- stream assembly ----------------------------------------------------------
+
+
+def _program_columns(
+    program: Program,
+    env: Mapping[str, int],
+    threads: int,
+    schedule: str,
+    steps: int,
+    parallel: frozenset[int],
+    max_accesses: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The merged (keys, writes, thread_ids) columns of the modeled
+    multi-thread execution — same partitioning, same drain order as
+    the dynamic replay."""
+    walker = _Walker(program, env)
+    out_k: list[np.ndarray] = []
+    out_w: list[np.ndarray] = []
+    out_t: list[np.ndarray] = []
+    total = 0
+    invocation = 0
+    for _ in range(steps):
+        for idx, stmt in enumerate(program.body):
+            if (
+                threads > 1
+                and idx in parallel
+                and isinstance(stmt, Loop)
+            ):
+                lo = int(stmt.lower.affine().evaluate(env))
+                hi = int(stmt.upper.affine().evaluate(env))
+                per_thread = schedule_chunks(
+                    lo, hi, threads, schedule, invocation
+                )
+                invocation += 1
+                cols = []
+                for chunks in per_thread:
+                    parts = [
+                        walker.nest(stmt, a, b) for a, b in chunks
+                    ]
+                    if parts:
+                        cols.append(
+                            (
+                                np.concatenate([p[0] for p in parts]),
+                                np.concatenate([p[1] for p in parts]),
+                            )
+                        )
+                    else:
+                        cols.append(
+                            (np.empty(0, np.int64), np.empty(0, bool))
+                        )
+                live = [
+                    (t, c) for t, c in enumerate(cols) if len(c[0])
+                ]
+                nk = sum(len(c[0]) for _, c in live)
+                mk = np.empty(nk, dtype=np.int64)
+                mw = np.empty(nk, dtype=bool)
+                mt = np.empty(nk, dtype=np.int32)
+                filled = 0
+                for i, p, q in round_robin_order(
+                    [len(c[0]) for _, c in live]
+                ):
+                    t, (ck, cw) = live[i]
+                    mk[filled : filled + (q - p)] = ck[p:q]
+                    mw[filled : filled + (q - p)] = cw[p:q]
+                    mt[filled : filled + (q - p)] = t
+                    filled += q - p
+                out_k.append(mk)
+                out_w.append(mw)
+                out_t.append(mt)
+                total += nk
+            else:
+                k, w = walker.nest(stmt)
+                if len(k):
+                    out_k.append(k)
+                    out_w.append(w)
+                    out_t.append(np.zeros(len(k), dtype=np.int32))
+                    total += len(k)
+            if total > max_accesses:
+                raise AnalysisError(
+                    f"coherence enumeration exceeds {max_accesses} "
+                    f"accesses at this size; raise max_accesses or "
+                    f"analyze a smaller instance"
+                )
+    if not out_k:
+        empty = np.empty(0, np.int64)
+        return empty, np.empty(0, bool), np.empty(0, np.int32)
+    return (
+        np.concatenate(out_k),
+        np.concatenate(out_w),
+        np.concatenate(out_t),
+    )
+
+
+# -- screens ------------------------------------------------------------------
+
+
+def _ref_key_range(
+    ref: StaticRef,
+    env: Mapping[str, int],
+    strides: Mapping[str, tuple[int, ...]],
+    bases: Mapping[str, int],
+    outer_span: Optional[tuple[int, int]],
+) -> Optional[tuple[int, int]]:
+    """Concrete [lo, hi] interval of the ref's global keys with the
+    outer loop restricted to ``outer_span`` (the linearized hull)."""
+    box = _ref_box(ref, env, outer_span)
+    if box is None:
+        return None
+    ss = strides[ref.array]
+    if len(box) != len(ss):
+        return None
+    lo = hi = bases[ref.array]
+    for (blo, bhi), s in zip(box, ss):
+        lo += (blo - 1) * s if s >= 0 else (bhi - 1) * s
+        hi += (bhi - 1) * s if s >= 0 else (blo - 1) * s
+    return int(lo), int(hi)
+
+
+def _thread_ranges(
+    refs: Sequence[StaticRef],
+    parallel: frozenset[int],
+    env: Mapping[str, int],
+    threads: int,
+    schedule: str,
+    strides: Mapping[str, tuple[int, ...]],
+    bases: Mapping[str, int],
+) -> Optional[list[tuple[int, tuple[int, int], bool]]]:
+    """(thread, key range, is_write) spans of every ref of one array;
+    None when any ref falls outside the interval engine's subset."""
+    out: list[tuple[int, tuple[int, int], bool]] = []
+    for ref in refs:
+        if ref.nest in parallel and ref.scope:
+            try:
+                ranges = _scope_ranges(ref, env)
+            except _Unsupported:
+                return None
+            lo, hi = ranges[ref.scope[0].index]
+            if hi < lo:
+                continue
+            chunks = schedule_chunks(lo, hi, threads, schedule)
+            for t in range(threads):
+                if not chunks[t]:
+                    continue
+                span_t = (chunks[t][0][0], chunks[t][-1][1])
+                rng = _ref_key_range(ref, env, strides, bases, span_t)
+                if rng is None:
+                    return None
+                out.append((t, rng, ref.is_write))
+        else:
+            rng = _ref_key_range(ref, env, strides, bases, None)
+            if rng is None:
+                return None
+            out.append((0, rng, ref.is_write))
+    return out
+
+
+def _screen_arrays(
+    model,
+    parallel: frozenset[int],
+    env: Mapping[str, int],
+    threads: int,
+    schedule: str,
+    line_elems: int,
+    strides: Mapping[str, tuple[int, ...]],
+    bases: Mapping[str, int],
+) -> tuple[set[str], set[str]]:
+    """(provably line-private arrays, provably element-private arrays).
+
+    Line-private: no two different threads' footprint hulls overlap
+    even after widening by a line — the array can produce no sharing at
+    all.  Element-private: the unwidened hulls never overlap across
+    threads, so any line sharing is false sharing by construction (the
+    dependence screen refines this with an exact equality test).
+    """
+    by_array: dict[str, list[StaticRef]] = {}
+    for ref in model.refs:
+        by_array.setdefault(ref.array, []).append(ref)
+    line_private: set[str] = set()
+    elem_private: set[str] = set()
+    for array, refs in by_array.items():
+        spans = _thread_ranges(
+            refs, parallel, env, threads, schedule, strides, bases
+        )
+        if spans is None:
+            continue  # not provable: keep the array in the classifier
+        line_shared = False
+        for i, (t1, (a1, b1), _w1) in enumerate(spans):
+            for t2, (a2, b2), _w2 in spans[i + 1 :]:
+                if t1 == t2:
+                    continue
+                # two hulls share a line iff their line-id ranges meet
+                if max(a1, a2) // line_elems <= min(b1, b2) // line_elems:
+                    line_shared = True
+                    break
+            if line_shared:
+                break
+        if not line_shared:
+            line_private.add(array)
+        elif not _may_share_element(
+            refs, parallel, env, threads, schedule
+        ):
+            elem_private.add(array)
+    return line_private, elem_private
+
+
+def _may_share_element(
+    refs: Sequence[StaticRef],
+    parallel: frozenset[int],
+    env: Mapping[str, int],
+    threads: int,
+    schedule: str,
+) -> bool:
+    """May two *different* threads reach the same element of the array,
+    at least one writing it?  Cross-thread equality feasibility per
+    subscript dimension via the dependence tester's interval+gcd check
+    (:func:`repro.static.dependence_test.attainable`), with each ref's
+    outer loop restricted to its thread's iteration span.  ``True``
+    means "maybe" — ``False`` is a proof, which makes every line
+    overlap of the array false sharing by construction."""
+    from .dependence_test import attainable
+    from .schedule import thread_span
+
+    def spans_of(ref: StaticRef) -> Optional[list[tuple[int, tuple[int, int]]]]:
+        """(thread, outer-var span) placements of one ref."""
+        if ref.nest in parallel and ref.scope:
+            try:
+                ranges = _scope_ranges(ref, env)
+            except _Unsupported:
+                return None
+            lo, hi = ranges[ref.scope[0].index]
+            out = []
+            for t in range(threads):
+                a, b = thread_span(lo, hi, threads, t, schedule)
+                if a <= b:
+                    out.append((t, (a, b)))
+            return out
+        return [(0, (0, -1))]  # serial: thread 0, no outer restriction
+
+    def dim_terms(ref, rng, sign):
+        terms = []
+        for sub in ref.subs:
+            row = []
+            for n, coeff in sub.coeffs:
+                if coeff.denominator != 1:
+                    raise _Unsupported(str(coeff))
+                lo, hi = rng.get(n, (env.get(n, 0), env.get(n, 0)))
+                row.append((sign * int(coeff), lo, hi))
+            terms.append((sign * sub.const, row))
+        return terms
+
+    for i, r1 in enumerate(refs):
+        for r2 in refs[i:]:
+            if not (r1.is_write or r2.is_write):
+                continue
+            p1 = spans_of(r1)
+            p2 = spans_of(r2)
+            if p1 is None or p2 is None:
+                return True  # cannot prove: assume sharing possible
+            if len(r1.subs) != len(r2.subs):
+                return True
+            for t1, s1 in p1:
+                for t2, s2 in p2:
+                    if t1 == t2:
+                        continue
+                    try:
+                        rng1 = _scope_ranges(
+                            r1, env, s1 if s1[0] <= s1[1] else None
+                        )
+                        rng2 = _scope_ranges(
+                            r2, env, s2 if s2[0] <= s2[1] else None
+                        )
+                        terms1 = dim_terms(r1, rng1, 1)
+                        terms2 = dim_terms(r2, rng2, -1)
+                    except _Unsupported:
+                        return True
+                    feasible = True
+                    for (c1, row1), (c2, row2) in zip(terms1, terms2):
+                        c = c1 + c2
+                        if c.denominator != 1:
+                            feasible = False
+                            break
+                        if not attainable(0, int(c), row1 + row2):
+                            feasible = False
+                            break
+                    if feasible:
+                        return True
+    return False
+
+
+# -- the line-level replay ----------------------------------------------------
+
+
+def _replay(
+    keys: np.ndarray,
+    writes: np.ndarray,
+    tids: np.ndarray,
+    threads: int,
+    line_elems: int,
+    classify: np.ndarray,
+) -> tuple:
+    """The MSI owner-tracking automaton plus sharing classification.
+
+    Same transition rules as :func:`repro.memsim.coherence.simulate_msi`
+    (valid set / ever set per line); additionally, accesses with
+    ``classify`` set participate in true/false sharing attribution:
+    an invalidation is *true* when another thread wrote the very
+    element before, *false* when only other elements of the line were
+    written.
+    """
+    n = len(keys)
+    cold = [0] * threads
+    inval = [0] * threads
+    upgrades = 0
+    line_valid: dict[int, int] = {}
+    line_ever: dict[int, int] = {}
+    elem_writers: dict[int, int] = {}
+    line_threads: dict[int, int] = {}
+    line_writes: dict[int, bool] = {}
+    elem_threads: dict[int, int] = {}
+    line_last: dict[int, dict[int, int]] = {}
+    line_stats: dict[int, list[int]] = {}  # line -> [inv, true, false]
+    raw_witnesses: list[tuple] = []
+    lines_arr = keys // line_elems
+    keys_l = keys.tolist()
+    lines_l = lines_arr.tolist()
+    writes_l = writes.tolist()
+    tids_l = tids.tolist()
+    cls_l = classify.tolist()
+    for i in range(n):
+        line = lines_l[i]
+        elem = keys_l[i]
+        t = tids_l[i]
+        bit = 1 << t
+        v = line_valid.get(line, 0)
+        is_inval = False
+        if not v & bit:
+            if line_ever.get(line, 0) & bit:
+                inval[t] += 1
+                is_inval = True
+            else:
+                cold[t] += 1
+        if writes_l[i]:
+            if v & ~bit:
+                upgrades += 1
+            line_valid[line] = bit
+        else:
+            line_valid[line] = v | bit
+        line_ever[line] = line_ever.get(line, 0) | bit
+        if not cls_l[i]:
+            continue
+        # sharing bookkeeping (classified arrays only)
+        line_threads[line] = line_threads.get(line, 0) | bit
+        et = elem_threads.get(elem, 0) | bit
+        elem_threads[elem] = et
+        if writes_l[i]:
+            line_writes[line] = True
+            elem_writers[elem] = elem_writers.get(elem, 0) | bit
+        if is_inval:
+            stats = line_stats.setdefault(line, [0, 0, 0])
+            stats[0] += 1
+            if elem_writers.get(elem, 0) & ~bit:
+                stats[1] += 1
+                kind = "true"
+                other_bits = elem_writers[elem] & ~bit
+                other = (other_bits & -other_bits).bit_length() - 1
+                other_elem = elem
+            else:
+                stats[2] += 1
+                kind = "false"
+                last = line_last.get(line, {})
+                other = next(
+                    (u for u in last if u != t), None
+                )
+                other_elem = last.get(other) if other is not None else None
+            if (
+                len(raw_witnesses) < MAX_WITNESSES
+                and other is not None
+                and other_elem is not None
+                and not any(w[0] == line for w in raw_witnesses)
+            ):
+                raw_witnesses.append(
+                    (line, kind, other, t, other_elem, elem)
+                )
+        line_last.setdefault(line, {})[t] = elem
+    return (
+        cold,
+        inval,
+        upgrades,
+        line_threads,
+        line_writes,
+        elem_threads,
+        elem_writers,
+        line_stats,
+        raw_witnesses,
+    )
+
+
+# -- witness recovery ---------------------------------------------------------
+
+
+def _find_iteration(
+    walker: _Walker,
+    program: Program,
+    parallel: frozenset[int],
+    env: Mapping[str, int],
+    threads: int,
+    schedule: str,
+    thread: int,
+    target_key: int,
+) -> tuple[tuple[str, int], ...]:
+    """Loop-variable bindings of the first access of ``thread`` that
+    touches ``target_key``, by a bounded Python re-walk."""
+    budget = [_WITNESS_WALK_CAP]
+    found: list[tuple[tuple[str, int], ...]] = []
+
+    def walk(stmt, e) -> bool:
+        if budget[0] <= 0:
+            return False
+        if isinstance(stmt, Assign):
+            budget[0] -= 1
+            for form, _ in walker._assign_refs(stmt):
+                if walker._eval(form, e) == target_key:
+                    loops = [
+                        (k, v)
+                        for k, v in e.items()
+                        if k not in walker.env
+                    ]
+                    found.append(tuple(loops))
+                    return True
+            return False
+        if isinstance(stmt, Guard):
+            body = (
+                stmt.body if walker._member(stmt, e) else stmt.else_body
+            )
+            return any(walk(s, e) for s in body)
+        if isinstance(stmt, Loop):
+            lo = int(stmt.lower.affine().evaluate(e))
+            hi = int(stmt.upper.affine().evaluate(e))
+            for v in range(lo, hi + 1):
+                e[stmt.index] = v
+                if any(walk(s, e) for s in stmt.body):
+                    return True
+                if budget[0] <= 0:
+                    break
+            e.pop(stmt.index, None)
+            return False
+        return False
+
+    for idx, stmt in enumerate(program.body):
+        if (
+            threads > 1
+            and idx in parallel
+            and isinstance(stmt, Loop)
+        ):
+            e = dict(env)
+            lo = int(stmt.lower.affine().evaluate(e))
+            hi = int(stmt.upper.affine().evaluate(e))
+            for a, b in schedule_chunks(lo, hi, threads, schedule)[thread]:
+                for v in range(a, b + 1):
+                    e[stmt.index] = v
+                    if any(walk(s, e) for s in stmt.body):
+                        return found[0]
+        elif thread == 0:
+            if walk(stmt, dict(env)):
+                return found[0]
+    return ()
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def analyze_coherence(
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+    threads: int = 4,
+    schedule: str = "static",
+    steps: int = 1,
+    line_bytes: Optional[int] = None,
+    parallelism: Optional[ParallelismProfile] = None,
+    max_accesses: int = DEFAULT_MAX_ACCESSES,
+    witnesses: bool = True,
+) -> CoherenceProfile:
+    """Predict the coherence behaviour of a ``threads``-way execution.
+
+    Purely static: accesses are enumerated from the affine model,
+    partitioned by the shared schedule machinery, ordered by the
+    round-robin drain contract, and replayed through the MSI
+    owner-tracking automaton at ``line_bytes`` granularity.
+    """
+    from ..memsim.geometry import ELEM_BYTES, L1_LINE_BYTES
+
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    parse_schedule(schedule)
+    lb = line_bytes if line_bytes is not None else L1_LINE_BYTES
+    line_elems = max(1, lb // ELEM_BYTES)
+    env = bind_params(program, params)
+    with span(
+        "coherence-analyze",
+        program=program.name,
+        threads=threads,
+        schedule=schedule,
+    ):
+        if parallelism is None:
+            parallelism = analyze_parallelism(program, params)
+        parallel = frozenset(parallelism.parallel_nests())
+        model = build_model(program)
+        walker = _Walker(program, env)
+        line_private, elem_private = _screen_arrays(
+            model, parallel, env, threads, schedule,
+            line_elems, walker.strides, walker.bases,
+        )
+        keys, writes_col, tids = _program_columns(
+            program, env, threads, schedule, steps, parallel,
+            max_accesses,
+        )
+        # classification is skipped for arrays the hull screen proved
+        # line-private — they cannot contribute sharing
+        classify = np.ones(len(keys), dtype=bool)
+        if line_private:
+            # global keys of a private array form one contiguous range
+            for name in line_private:
+                base = walker.bases[name]
+                decl_size = 1
+                for extent in _array_shape(program, name, env):
+                    decl_size *= extent
+                in_range = (keys >= base) & (keys < base + decl_size)
+                classify &= ~in_range
+        (
+            cold,
+            inval,
+            upgrades,
+            line_threads,
+            line_writes,
+            elem_threads,
+            elem_writers,
+            line_stats,
+            raw_witnesses,
+        ) = _replay(keys, writes_col, tids, threads, line_elems, classify)
+
+        arrays = _array_summaries(
+            program, env, walker, line_elems,
+            line_threads, line_writes, elem_threads, elem_writers,
+            line_stats,
+        )
+        witness_objs: list[SharingWitness] = []
+        if witnesses:
+            for line, kind, ta, tb, ea, eb in raw_witnesses:
+                array = _array_of_key(walker, program, env, ea)
+                iter_a = _find_iteration(
+                    walker, program, parallel, env, threads, schedule,
+                    ta, ea,
+                )
+                iter_b = _find_iteration(
+                    walker, program, parallel, env, threads, schedule,
+                    tb, eb,
+                )
+                witness_objs.append(
+                    SharingWitness(
+                        array=array,
+                        line=int(line),
+                        kind=kind,
+                        thread_a=int(ta),
+                        thread_b=int(tb),
+                        elem_a=int(ea),
+                        elem_b=int(eb),
+                        offset_a=int(ea % line_elems),
+                        offset_b=int(eb % line_elems),
+                        iter_a=iter_a,
+                        iter_b=iter_b,
+                    )
+                )
+        metrics.inc("analysis.coherence.profiles")
+        return CoherenceProfile(
+            program_name=program.name,
+            params=tuple(sorted(env.items())),
+            threads=threads,
+            schedule=schedule,
+            steps=steps,
+            line_elems=line_elems,
+            line_bytes=lb,
+            parallel_nests=tuple(sorted(parallel)),
+            accesses=len(keys),
+            cold=tuple(int(c) for c in cold),
+            invalidations=tuple(int(v) for v in inval),
+            upgrades=int(upgrades),
+            arrays=arrays,
+            witnesses=tuple(witness_objs),
+            screened_out=tuple(sorted(line_private)),
+            false_only=tuple(sorted(elem_private)),
+        )
+
+
+def _array_shape(
+    program: Program, name: str, env: Mapping[str, int]
+) -> tuple[int, ...]:
+    for decl in program.arrays:
+        if decl.name == name:
+            return tuple(decl.shape(env))
+    return ()
+
+
+def _array_of_key(
+    walker: _Walker, program: Program, env: Mapping[str, int], key: int
+) -> str:
+    best = ""
+    for decl in program.arrays:
+        base = walker.bases[decl.name]
+        if base <= key:
+            size = 1
+            for extent in decl.shape(env):
+                size *= extent
+            if key < base + size:
+                return decl.name
+            best = decl.name
+    return best
+
+
+def _array_summaries(
+    program: Program,
+    env: Mapping[str, int],
+    walker: _Walker,
+    line_elems: int,
+    line_threads: dict,
+    line_writes: dict,
+    elem_threads: dict,
+    elem_writers: dict,
+    line_stats: dict,
+) -> tuple[ArraySharing, ...]:
+    # bucket lines / elements back onto arrays via the base table
+    bounds = []
+    for decl in program.arrays:
+        base = walker.bases[decl.name]
+        size = 1
+        for extent in decl.shape(env):
+            size *= extent
+        bounds.append((decl.name, base, base + size))
+
+    def array_of(key: int) -> str:
+        for name, lo, hi in bounds:
+            if lo <= key < hi:
+                return name
+        return bounds[-1][0] if bounds else ""
+
+    # which lines have a cross-thread element write (true sharing)
+    true_lines: set[int] = set()
+    for elem, writers in elem_writers.items():
+        others = elem_threads.get(elem, 0) & ~writers
+        multi_writer = writers & (writers - 1)
+        if multi_writer or (writers and others):
+            true_lines.add(elem // line_elems)
+    per_array: dict[str, list[int]] = {}
+    for line, tmask in line_threads.items():
+        if tmask & (tmask - 1) == 0:
+            continue  # single thread: not shared
+        name = array_of(line * line_elems)
+        stats = line_stats.get(line, [0, 0, 0])
+        row = per_array.setdefault(name, [0, 0, 0, 0, 0, 0])
+        row[0] += 1
+        if line in true_lines:
+            row[1] += 1
+        elif line_writes.get(line):
+            row[2] += 1
+        row[3] += stats[0]
+        row[4] += stats[1]
+        row[5] += stats[2]
+    return tuple(
+        ArraySharing(
+            array=name,
+            shared_lines=row[0],
+            true_lines=row[1],
+            false_lines=row[2],
+            invalidations=row[3],
+            true_invalidations=row[4],
+            false_invalidations=row[5],
+        )
+        for name, row in sorted(per_array.items())
+    )

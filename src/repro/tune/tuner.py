@@ -73,7 +73,9 @@ class TuneRequest:
     ``objective``
         ``"misses"`` ranks by predicted single-thread L1+L2 misses;
         ``"parallel-misses"`` by the multicore prediction — per-thread
-        private L1 plus shared L2 at ``threads``/``schedule``;
+        private L1 (including predicted coherence invalidation misses
+        from the static sharing analyzer) plus shared L2 at
+        ``threads``/``schedule``;
         ``"bytes"`` by predicted data moved — misses weighted by the
         per-level line size (:mod:`repro.memsim.geometry`), the static
         side of the effective-bandwidth report;
@@ -288,6 +290,7 @@ def _score_profile(
     objective: str,
     threads: int,
     schedule: str,
+    steps: int = 1,
 ) -> tuple[float, list[dict]]:
     """Evaluate one static profile under the objective; sum over sizes."""
     per_size: list[dict] = []
@@ -295,19 +298,35 @@ def _score_profile(
     for size in sizes:
         params = _program_params(program, size)
         if objective == "parallel-misses":
+            from ..lang import AnalysisError
             from ..static import analyze_parallelism
+            from ..static.coherence import analyze_coherence
             from ..static.multicore import predict_multicore
 
             parallelism = analyze_parallelism(program, params or None)
             pred = predict_multicore(
                 profile, parallelism, params, threads=threads, schedule=schedule
             )
+            try:
+                # fold predicted invalidation misses into the private
+                # view: a candidate that trades capacity misses for
+                # line ping-pong should not win the grid
+                coherence = analyze_coherence(
+                    program, params or None, threads=threads,
+                    schedule=schedule, steps=steps,
+                    parallelism=parallelism, witnesses=False,
+                )
+                pred = pred.with_invalidations(coherence.invalidations)
+            except AnalysisError:
+                coherence = None  # outside the affine subset: capacity only
             l1m = pred.private_miss_count(l1)
             l2m = pred.shared_miss_count(l2)
         else:
             l1m = profile.miss_count(params, l1)
             l2m = profile.miss_count(params, l2)
         entry = {"params": dict(size), "l1": round(l1m, 3), "l2": round(l2m, 3)}
+        if objective == "parallel-misses" and coherence is not None:
+            entry["invalidations"] = coherence.total_invalidations
         if objective == "bytes":
             # predicted data moved: misses weighted by line size.  Every
             # machine (base and scaled) keeps the shared line geometry,
@@ -345,7 +364,7 @@ def static_score(
     profile = analyze_program(variant.program, steps=steps)
     score, per_size = _score_profile(
         profile, variant.program, sizes, l1_elems, l2_elems,
-        objective, threads, schedule,
+        objective, threads, schedule, steps,
     )
     return score, per_size, text_hash, time.perf_counter() - t0
 
@@ -446,7 +465,8 @@ def tune(request: TuneRequest) -> TuneResult:
                         profile = analyze_program(variant.program, steps=steps)
                         score, per_size = _score_profile(
                             profile, variant.program, sizes, l1_elems, l2_elems,
-                            request.objective, request.threads, request.schedule,
+                            request.objective, request.threads,
+                            request.schedule, steps,
                         )
                         metrics.inc("tune.evaluations")
                         result = CandidateScore(

@@ -37,6 +37,7 @@ from .legality import (
 )
 from .races import (
     doall_preservation_check,
+    lint_coherence,
     lint_parallelism,
     lint_races,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "format_code_table",
     "get_code",
     "is_scalar_cell",
+    "lint_coherence",
     "lint_parallelism",
     "lint_program",
     "lint_races",

@@ -347,6 +347,47 @@ accumulator and a combine step — reported as informational, not as a
 race.""",
 )
 _register(
+    "R520", Severity.WARNING,
+    "false-sharing hotspot (distinct elements, same cache line)",
+    """The static coherence analyzer predicts threads will invalidate
+each other on cache lines where they touch *distinct* elements — no
+value flows between them, the line just happens to hold both threads'
+data.  Classic causes: a leading dimension that is not a whole number
+of cache lines (so one thread's column tail and the next thread's
+column head share a line), or chunked schedules slicing a contiguous
+axis mid-line.
+
+The diagnostic carries a concrete witness (thread pair, the two global
+element keys with their offsets inside the shared line, and the
+loop-variable bindings of the colliding iterations) plus, when the
+array's leading extent is not line-aligned, the padding fix: growing
+the leading dimension to the next multiple of the line size re-aligns
+every column to a line boundary and removes the overlap.""",
+)
+_register(
+    "R521", Severity.WARNING,
+    "heavy true sharing across parallel nests",
+    """Threads exchange the *same elements* (one writes, another reads
+or rewrites) often enough that invalidation misses are a significant
+miss source.  Within one DOALL nest this cannot happen — the race
+analyzer proved iterations disjoint — so true sharing is a cross-nest
+phenomenon: the producing nest partitioned its data over the threads
+differently than the consuming nest (different parallel axis, shifted
+subscripts, or a serial producer on thread 0).  Padding does not help;
+re-aligning the partitions (same axis, same schedule) or fusing the
+nests does.""",
+)
+_register(
+    "R522", Severity.INFO,
+    "sharing is schedule-sensitive",
+    """Predicted invalidation misses differ by a large factor across
+OpenMP schedules for the same program — typically block 'static' keeps
+threads line-disjoint while 'static,1' (or 'guided') slices the axis
+into chunks smaller than the data a line holds.  Reported so the
+schedule choice is made deliberately; the message carries the per-
+schedule invalidation counts.""",
+)
+_register(
     "R510", Severity.WARNING,
     "pass destroyed a parallel (DOALL) outer axis",
     """Comparing parallelism profiles before and after a pass shows a

@@ -14,7 +14,16 @@ diagnostics:
     accumulator;
 ``R510 doall-destroyed``
     a pass comparison: a top-level nest's outermost axis was parallel
-    before the pass and serial after it (the §2.3 fusion trade-off).
+    before the pass and serial after it (the §2.3 fusion trade-off);
+``R520 false-sharing``
+    the static coherence analyzer predicts invalidation misses on lines
+    where threads touch *distinct* elements — with a padding suggestion
+    when the leading dimension is not line-aligned;
+``R521 true-sharing``
+    heavy cross-nest same-element exchange between threads;
+``R522 schedule-sensitive``
+    invalidation counts differ by a large factor across OpenMP
+    schedules.
 
 All codes flow through the shared :class:`DiagnosticBag`, so they
 render, serialize, and baseline exactly like the ``V``/``L``/``S``
@@ -167,4 +176,145 @@ def doall_preservation_check(
             parallel_before=n_before,
             parallel_after=n_after,
         )
+    return bag
+
+
+# -- R52x: coherence and sharing ----------------------------------------------
+
+#: invalidation-miss floor below which a sharing pattern is noise
+R520_MIN_INVALIDATIONS = 4
+R521_MIN_INVALIDATIONS = 4
+#: R522 fires when schedules differ by this factor (and the worse one
+#: clears the absolute floor)
+R522_RATIO = 4.0
+R522_MIN_INVALIDATIONS = 32
+
+#: the alternate schedule R522 compares against — the finest static
+#: chunking, which maximizes chunk-boundary sharing
+R522_ALT_SCHEDULE = "static,1"
+
+
+def _leading_pad(
+    program: Program,
+    array: str,
+    line_elems: int,
+    env: Mapping[str, int],
+) -> str:
+    """The padding suggestion for one array, or '' when already aligned."""
+    for decl in program.arrays:
+        if decl.name != array:
+            continue
+        extent = decl.shape(env)[0]
+        if extent % line_elems == 0:
+            return ""
+        padded = -(-extent // line_elems) * line_elems
+        return (
+            f"pad {array}'s leading dimension from {extent} to {padded} "
+            f"({line_elems} elements per line) to line-align the columns"
+        )
+    return ""
+
+
+def lint_coherence(
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+    threads: int = 4,
+    schedule: str = "static",
+    steps: int = 1,
+) -> DiagnosticBag:
+    """Emit the R52x sharing lints from a static coherence profile.
+
+    Advisory by design: programs outside the analyzer's affine subset
+    (or too large to enumerate at the lint sizes) are skipped silently
+    rather than failing the lint run.
+    """
+    from ..lang import AnalysisError
+    from ..static.coherence import analyze_coherence
+
+    bag = DiagnosticBag()
+    try:
+        profile = analyze_coherence(
+            program, params, threads=threads, schedule=schedule,
+            steps=steps,
+        )
+    except AnalysisError:
+        return bag
+    name = profile.program_name
+
+    by_array = {
+        w.array: w for w in reversed(profile.witnesses)
+    }  # first witness per array wins
+    for a in profile.sharing_arrays():
+        witness = by_array.get(a.array)
+        if a.false_invalidations >= R520_MIN_INVALIDATIONS:
+            pad = _leading_pad(
+                program, a.array, profile.line_elems,
+                dict(profile.params),
+            )
+            detail = (
+                f" — e.g. {witness.render()}"
+                if witness is not None and witness.kind == "false"
+                else ""
+            )
+            fix = f"; fix: {pad}" if pad else ""
+            bag.warning(
+                "R520",
+                f"{a.false_invalidations} predicted invalidation "
+                f"misses from false sharing on {a.array!r} "
+                f"({a.false_lines} lines, {threads} threads, "
+                f"{schedule} schedule){detail}{fix}",
+                where=f"{name}: array {a.array}",
+                array=a.array,
+                false_invalidations=a.false_invalidations,
+                false_lines=a.false_lines,
+                threads=threads,
+                schedule=schedule,
+            )
+        if a.true_invalidations >= R521_MIN_INVALIDATIONS:
+            detail = (
+                f" — e.g. {witness.render()}"
+                if witness is not None and witness.kind == "true"
+                else ""
+            )
+            bag.warning(
+                "R521",
+                f"{a.true_invalidations} predicted invalidation misses "
+                f"from true sharing on {a.array!r} ({a.true_lines} "
+                f"lines, {threads} threads): threads exchange the same "
+                f"elements across nests — realign the producing and "
+                f"consuming partitions or fuse the nests{detail}",
+                where=f"{name}: array {a.array}",
+                array=a.array,
+                true_invalidations=a.true_invalidations,
+                true_lines=a.true_lines,
+                threads=threads,
+                schedule=schedule,
+            )
+
+    if schedule != R522_ALT_SCHEDULE:
+        try:
+            alt = analyze_coherence(
+                program, params, threads=threads,
+                schedule=R522_ALT_SCHEDULE, steps=steps, witnesses=False,
+            )
+        except AnalysisError:
+            return bag
+        lo, hi = sorted(
+            (profile.total_invalidations, alt.total_invalidations)
+        )
+        if hi >= R522_MIN_INVALIDATIONS and hi >= R522_RATIO * max(lo, 1):
+            bag.info(
+                "R522",
+                f"invalidation misses are schedule-sensitive: "
+                f"{profile.total_invalidations} under {schedule!r} vs "
+                f"{alt.total_invalidations} under "
+                f"{R522_ALT_SCHEDULE!r} ({threads} threads) — choose "
+                f"the schedule deliberately",
+                where=name,
+                schedule_a=schedule,
+                invalidations_a=profile.total_invalidations,
+                schedule_b=R522_ALT_SCHEDULE,
+                invalidations_b=alt.total_invalidations,
+                threads=threads,
+            )
     return bag

@@ -1,0 +1,178 @@
+"""Unit tests for the MSI coherence oracle (repro.memsim.coherence).
+
+Hand-checkable streams pin the owner-tracking automaton: cold vs
+invalidation classification, write-invalidates-all, upgrades, and the
+CoherenceLevel adapter's line reduction and miss accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim.coherence import CoherenceLevel, simulate_msi
+
+
+def msi(lines, writes, tids, threads):
+    return simulate_msi(
+        np.asarray(lines, dtype=np.int64),
+        np.asarray(writes, dtype=bool),
+        np.asarray(tids, dtype=np.int64),
+        threads,
+    )
+
+
+# -- the automaton -------------------------------------------------------------
+
+
+def test_single_thread_never_invalidates():
+    r = msi([0, 0, 1, 0, 1], [1, 0, 1, 0, 0], [0] * 5, 1)
+    assert r.lines == 2
+    assert r.cold.tolist() == [2]  # first touch of each line
+    assert r.total_invalidations == 0
+    assert r.total_upgrades == 0
+
+
+def test_read_sharing_is_free():
+    # both threads read the same line repeatedly: one cold each, no
+    # invalidations (S state is shared freely)
+    r = msi([7, 7, 7, 7], [0, 0, 0, 0], [0, 1, 0, 1], 2)
+    assert r.cold.tolist() == [1, 1]
+    assert r.total_invalidations == 0
+    assert r.total_upgrades == 0
+    assert not r.invalidation_mask.any()
+
+
+def test_write_ping_pong():
+    # alternating writes to one line: the first by each thread is cold,
+    # every later access finds its copy invalidated
+    r = msi([3] * 6, [1] * 6, [0, 1, 0, 1, 0, 1], 2)
+    assert r.cold.tolist() == [1, 1]
+    assert r.invalidations.tolist() == [2, 2]
+    assert r.invalidation_mask.tolist() == [False, False, True, True, True, True]
+    # every write after the first found another thread's copy to kill
+    assert r.upgrades.tolist() == [2, 3]
+
+
+def test_false_sharing_pattern_distinct_elements_same_line():
+    # the classic: t0 writes element a, t1 writes element b, same line.
+    # the oracle works on line ids, so this is indistinguishable from
+    # true sharing here — classification happens in the static analyzer
+    r = msi([5, 5, 5, 5], [1, 1, 1, 1], [0, 1, 0, 1], 2)
+    assert r.invalidations.tolist() == [1, 1]
+
+
+def test_write_invalidates_all_readers():
+    # three readers share the line, then t3 writes: each reader's next
+    # access is an invalidation miss
+    lines = [9, 9, 9, 9, 9, 9, 9]
+    writes = [0, 0, 0, 1, 0, 0, 0]
+    tids = [0, 1, 2, 3, 0, 1, 2]
+    r = msi(lines, writes, tids, 4)
+    assert r.cold.tolist() == [1, 1, 1, 1]
+    assert r.invalidations.tolist() == [1, 1, 1, 0]
+    assert r.upgrades.tolist() == [0, 0, 0, 1]
+
+
+def test_writer_rereads_own_line_for_free():
+    # a write leaves the writer with the only valid copy
+    r = msi([2, 2, 2], [1, 0, 0], [0, 0, 0], 2)
+    assert r.cold.tolist() == [1, 0]
+    assert r.total_invalidations == 0
+
+
+def test_upgrade_counts_only_when_another_copy_dies():
+    # t0 writes its own exclusive line twice: no upgrade either time
+    r = msi([4, 4], [1, 1], [0, 0], 2)
+    assert r.total_upgrades == 0
+
+
+def test_distinct_lines_are_independent():
+    # threads writing disjoint lines never interact
+    r = msi([0, 1, 0, 1, 0, 1], [1, 1, 1, 1, 1, 1], [0, 1, 0, 1, 0, 1], 2)
+    assert r.total_invalidations == 0
+    assert r.cold.tolist() == [1, 1]
+
+
+def test_empty_stream():
+    r = msi([], [], [], 3)
+    assert r.accesses == 0 and r.lines == 0
+    assert r.total_cold == 0 and r.total_invalidations == 0
+
+
+def test_line_ids_are_labels_not_indices():
+    # arbitrary (large, negative) line labels are fine
+    r = msi([10**12, -5, 10**12], [1, 0, 1], [0, 0, 1], 2)
+    assert r.lines == 2
+    assert r.cold.tolist() == [2, 1]
+
+
+def test_column_length_mismatch_raises():
+    with pytest.raises(ValueError, match="lengths differ"):
+        msi([0, 1], [1], [0, 0], 2)
+
+
+def test_thread_count_bounds():
+    with pytest.raises(ValueError):
+        msi([0], [1], [0], 0)
+    with pytest.raises(ValueError, match="63"):
+        msi([0], [1], [0], 64)
+    # 63 is the last representable bitmask width
+    r = msi([0], [0], [62], 63)
+    assert r.cold[62] == 1
+
+
+# -- CoherenceLevel adapter ----------------------------------------------------
+
+
+def test_level_reduces_elements_to_lines():
+    # line_bytes 32 / elem_bytes 8 = 4 elements per line: keys 0..3 are
+    # one line, 4..7 the next
+    tids = np.array([0, 1, 0, 1], dtype=np.int64)
+    level = CoherenceLevel(thread_ids=tids, threads=2)
+    res = level.simulate(
+        np.array([0, 3, 4, 7], dtype=np.int64),
+        np.array([True, True, True, True]),
+    )
+    # keys 0,3 share line 0 (t0 then t1: cold+cold), keys 4,7 line 1
+    assert res.msi.lines == 2
+    assert res.msi.total_invalidations == 0
+    assert res.misses == res.msi.total_cold == 4
+
+
+def test_level_misses_are_cold_plus_invalidations():
+    tids = np.array([0, 1, 0], dtype=np.int64)
+    level = CoherenceLevel(thread_ids=tids, threads=2)
+    res = level.simulate(
+        np.array([0, 1, 2], dtype=np.int64),  # all on line 0
+        np.array([True, True, False]),
+    )
+    assert res.msi.total_cold == 2
+    assert res.msi.total_invalidations == 1
+    assert res.misses == 3
+    assert res.miss.tolist() == [False, False, True]
+
+
+def test_level_byte_unit():
+    tids = np.array([0, 1], dtype=np.int64)
+    level = CoherenceLevel(thread_ids=tids, threads=2, unit="bytes")
+    # byte addresses 0 and 31 share a 32-byte line
+    res = level.simulate(
+        np.array([0, 31], dtype=np.int64), np.array([True, True])
+    )
+    assert res.msi.lines == 1
+    assert res.msi.total_upgrades == 1
+
+
+def test_level_rejects_partial_stream():
+    tids = np.array([0, 1, 0], dtype=np.int64)
+    level = CoherenceLevel(thread_ids=tids, threads=2)
+    with pytest.raises(ValueError, match="full stream"):
+        level.simulate(np.array([0, 1]), np.array([True, True]))
+
+
+def test_level_rejects_degenerate_line_size():
+    tids = np.array([0], dtype=np.int64)
+    level = CoherenceLevel(thread_ids=tids, threads=1, line_bytes=4)
+    with pytest.raises(ValueError, match="below elem_bytes"):
+        level.simulate(np.array([0]), np.array([True]))

@@ -90,6 +90,21 @@ class TestFrontDoor:
         assert set(serial_scores) == set(par_scores)
         assert all(score > 0 for score in par_scores.values())
 
+    def test_parallel_misses_folds_invalidations(self):
+        # the objective charges coherence invalidation misses on top of
+        # the capacity model; every scored entry reports the fold
+        result = _tune(
+            validate_top=False, max_candidates=2,
+            objective="parallel-misses", threads=4, sizes=[{"N": 16}],
+        )
+        for c in list(result.candidates) + list(result.named):
+            for entry in c.per_size:
+                assert "invalidations" in entry, c.label
+                assert entry["invalidations"] >= 0
+        # adi's alternating-axis nests truly share lines at any level
+        noopt = next(c for c in result.named if c.label == "noopt")
+        assert noopt.per_size[0]["invalidations"] > 0
+
     def test_machine_override_changes_scores(self):
         small = _tune(validate_top=False, max_candidates=2,
                       machine=MachineSpec(l1_bytes=1024, l2_bytes=4096))
